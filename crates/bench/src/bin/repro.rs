@@ -1,0 +1,866 @@
+//! `repro` — regenerate every table and figure of the paper and print the
+//! measured values next to the published ones.
+//!
+//! ```sh
+//! cargo run --release -p odx-bench --bin repro -- all --scale 0.1
+//! cargo run --release -p odx-bench --bin repro -- fig8 fig9
+//! cargo run --release -p odx-bench --bin repro -- all --out out/
+//! ```
+//!
+//! Commands: `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 headline fig13
+//! fig14 table2 fig15 fig16 fig17 ablate-cache ablate-privileged
+//! ablate-storage ablate-dedup ablate-ledbat ablate-concurrency sweep-userbase sweep-cache
+//! export-traces all`.
+//! (`export-traces` is opt-in — it is not part of `all`.)
+//!
+//! `--scale` (default 0.1) sets the workload scale (1.0 = the paper's full
+//! 4.08 M-task week); `--seed` the master seed; `--sample` the §5.1/§6.2
+//! sample size (default 1000, the paper's); `--out DIR` additionally dumps
+//! each figure's plotted series as TSV.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::PathBuf;
+
+use odx::cloud::{CloudConfig, WeekReport};
+use odx::net::kbps_to_gbps;
+use odx::odr::replay::OdrEvalReport;
+use odx::smartap::{table2, ApModel};
+use odx::stats::fit::{fit_se, fit_zipf, rank_frequency};
+use odx::stats::Ecdf;
+use odx::storage::{DeviceKind, FsKind};
+use odx::Study;
+use odx_bench::{mmmm, rel, row};
+
+struct Options {
+    commands: BTreeSet<String>,
+    scale: f64,
+    seed: u64,
+    sample: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut commands = BTreeSet::new();
+    let mut scale = 0.1;
+    let mut seed = 2015;
+    let mut sample = 1000;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
+            "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
+            "--sample" => sample = args.next().expect("--sample value").parse().expect("sample"),
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
+            cmd => {
+                commands.insert(cmd.to_owned());
+            }
+        }
+    }
+    if commands.is_empty() {
+        commands.insert("all".to_owned());
+    }
+    Options { commands, scale, seed, sample, out }
+}
+
+fn main() {
+    let opts = parse_args();
+    let want = |c: &str| opts.commands.contains("all") || opts.commands.contains(c);
+    println!(
+        "odx repro — scale {} seed {} sample {}  (paper: scale 1.0 = 4,084,417 tasks)",
+        opts.scale, opts.seed, opts.sample
+    );
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).expect("create --out dir");
+    }
+
+    let study = Study::generate(opts.scale, opts.seed);
+
+    if want("table1") {
+        table1();
+    }
+    if want("fig5") {
+        fig5(&study, &opts);
+    }
+    if want("fig6") || want("fig7") {
+        fig6_fig7(&study, &opts);
+    }
+
+    let needs_cloud = ["fig8", "fig9", "fig10", "fig11", "headline", "fig16"]
+        .iter()
+        .any(|c| want(c))
+        || want("ablate-cache")
+        || want("ablate-privileged");
+    let cloud = needs_cloud.then(|| study.replay_cloud());
+
+    if let Some(report) = &cloud {
+        if want("fig8") {
+            fig8(report, &opts);
+        }
+        if want("fig9") {
+            fig9(report, &opts);
+        }
+        if want("fig10") {
+            fig10(report);
+        }
+        if want("fig11") {
+            fig11(report, &opts);
+        }
+        if want("headline") {
+            headline(report);
+        }
+    }
+
+    let needs_ap = want("fig13") || want("fig14") || want("headline");
+    let aps = needs_ap.then(|| study.replay_smart_aps(opts.sample));
+    if let Some(report) = &aps {
+        if want("fig13") {
+            fig13(report, &opts);
+        }
+        if want("fig14") {
+            fig14(report, &opts);
+        }
+        if want("headline") {
+            ap_headline(report);
+        }
+    }
+
+    if want("table2") {
+        print_table2();
+    }
+    if want("fig15") {
+        fig15();
+    }
+    if want("fig16") || want("fig17") {
+        let eval = study.replay_odr(opts.sample);
+        if want("fig16") {
+            fig16(cloud.as_ref(), &eval, opts.scale);
+        }
+        if want("fig17") {
+            fig17(&eval, &opts);
+        }
+    }
+    if want("ablate-cache") {
+        ablate_cache(&study, cloud.as_ref().expect("cloud replay present"));
+    }
+    if want("ablate-privileged") {
+        ablate_privileged(&study, cloud.as_ref().expect("cloud replay present"));
+    }
+    if want("ablate-storage") {
+        ablate_storage();
+    }
+    if want("sweep-userbase") {
+        sweep_userbase(&study);
+    }
+    if want("ablate-dedup") {
+        ablate_dedup(&study);
+    }
+    if want("ablate-ledbat") {
+        ablate_ledbat(&study);
+    }
+    if want("ablate-concurrency") {
+        ablate_concurrency(&study, opts.sample);
+    }
+    if want("sweep-cache") {
+        sweep_cache(&study);
+    }
+    if opts.commands.contains("export-traces") {
+        export_traces(&study, &opts);
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn dump_cdf(opts: &Options, name: &str, ecdf: &Ecdf) {
+    let Some(dir) = &opts.out else { return };
+    let mut f = std::fs::File::create(dir.join(name)).expect("create tsv");
+    writeln!(f, "value\tcdf").unwrap();
+    for (x, p) in ecdf.curve(512) {
+        writeln!(f, "{x}\t{p}").unwrap();
+    }
+    println!("  [series → {}]", dir.join(name).display());
+}
+
+fn table1() {
+    section("Table 1 — smart AP hardware configurations");
+    println!(
+        "  {:<8} {:>9} {:>8}  {:<40} {:<28}",
+        "AP", "CPU (MHz)", "RAM (MB)", "storage", "WiFi"
+    );
+    for ap in ApModel::ALL {
+        let s = ap.bench_storage();
+        let wifi = if ap.has_80211ac() {
+            "802.11 b/g/n/ac @ 2.4/5.0 GHz"
+        } else {
+            "802.11 b/g/n @ 2.4 GHz"
+        };
+        println!(
+            "  {:<8} {:>9.0} {:>8}  {:<40} {:<28}",
+            ap.to_string(),
+            ap.cpu_mhz(),
+            ap.ram_mb(),
+            format!("{} ({})", s.device, s.fs),
+            wifi
+        );
+    }
+}
+
+fn fig5(study: &Study, opts: &Options) {
+    section("Fig 5 — CDF of requested file size (MB)");
+    let ecdf = Ecdf::new(study.catalog.sizes_mb());
+    let s = ecdf.summary().unwrap();
+    println!("{}", row("median", "115 MB", format!("{:.0} MB ({})", s.median, rel(s.median, 115.0))));
+    println!("{}", row("average", "390 MB", format!("{:.0} MB ({})", s.mean, rel(s.mean, 390.0))));
+    println!("{}", row("max", "4 GB", format!("{:.0} MB", s.max)));
+    println!(
+        "{}",
+        row("fraction below 8 MB", "25%", format!("{:.1}%", 100.0 * ecdf.fraction_below(8.0)))
+    );
+    dump_cdf(opts, "fig5_file_size_cdf.tsv", &ecdf);
+}
+
+fn fig6_fig7(study: &Study, opts: &Options) {
+    section("Figs 6–7 — popularity rank-frequency: Zipf vs stretched-exponential");
+    let ranked = rank_frequency(&study.catalog.weekly_counts());
+    let zipf = fit_zipf(&ranked);
+    let se = fit_se(&ranked, 0.01);
+    println!(
+        "{}",
+        row("Zipf avg rel. fit error", "15.3%", format!("{:.1}%", 100.0 * zipf.avg_rel_error))
+    );
+    println!("{}", row("Zipf exponent a1", "1.034", format!("{:.3}", zipf.a)));
+    println!(
+        "{}",
+        row("SE (c=0.01) avg rel. fit error", "13.7%", format!("{:.1}%", 100.0 * se.avg_rel_error))
+    );
+    println!(
+        "{}",
+        row(
+            "SE fits better than Zipf",
+            "yes",
+            if se.avg_rel_error <= zipf.avg_rel_error { "yes".into() } else { "NO".to_string() }
+        )
+    );
+    if let Some(dir) = &opts.out {
+        let mut f = std::fs::File::create(dir.join("fig6_7_rank_frequency.tsv")).unwrap();
+        writeln!(f, "rank\tcount\tzipf_fit\tse_fit").unwrap();
+        for (i, y) in ranked.iter().enumerate() {
+            let x = (i + 1) as f64;
+            writeln!(f, "{x}\t{y}\t{}\t{}", zipf.predict(x), se.predict(x)).unwrap();
+        }
+        println!("  [series → {}]", dir.join("fig6_7_rank_frequency.tsv").display());
+    }
+}
+
+fn fig8(report: &WeekReport, opts: &Options) {
+    section("Fig 8 — CDFs of cloud speeds (KBps)");
+    let pd = report.predownload_speed_ecdf();
+    let fetch = report.fetch_speed_ecdf();
+    let e2e = report.end_to_end_speed_ecdf();
+    println!(
+        "{}",
+        row("pre-downloading (misses)", "med 25 / mean 69", mmmm(&pd.summary().unwrap()))
+    );
+    println!("{}", row("fetching", "med 287 / mean 504", mmmm(&fetch.summary().unwrap())));
+    println!("{}", row("end-to-end", "med 233 / mean 380", mmmm(&e2e.summary().unwrap())));
+    dump_cdf(opts, "fig8_predownload_speed_cdf.tsv", &pd);
+    dump_cdf(opts, "fig8_fetch_speed_cdf.tsv", &fetch);
+    dump_cdf(opts, "fig8_end_to_end_speed_cdf.tsv", &e2e);
+}
+
+fn fig9(report: &WeekReport, opts: &Options) {
+    section("Fig 9 — CDFs of cloud delays (minutes)");
+    let pd = report.predownload_delay_ecdf();
+    let fetch = report.fetch_delay_ecdf();
+    let e2e = report.end_to_end_delay_ecdf();
+    println!(
+        "{}",
+        row("pre-downloading (misses)", "med 82 / mean 370", mmmm(&pd.summary().unwrap()))
+    );
+    println!("{}", row("fetching", "med 7 / mean 27", mmmm(&fetch.summary().unwrap())));
+    println!("{}", row("end-to-end", "med 10 / mean 68", mmmm(&e2e.summary().unwrap())));
+    dump_cdf(opts, "fig9_predownload_delay_cdf.tsv", &pd);
+    dump_cdf(opts, "fig9_fetch_delay_cdf.tsv", &fetch);
+    dump_cdf(opts, "fig9_end_to_end_delay_cdf.tsv", &e2e);
+}
+
+fn fig10(report: &WeekReport) {
+    section("Fig 10 — request popularity vs pre-downloading failure ratio");
+    println!("  (unpopular < 7/wk, popular 7–84, highly popular > 84; cloud with cache)");
+    for (w, ratio) in &report.failure_by_popularity {
+        let class = if *w < 7.0 {
+            "unpopular"
+        } else if *w <= 84.0 {
+            "popular"
+        } else {
+            "highly popular"
+        };
+        println!("  ~{:>5.0} req/wk  {:>5.1}%  ({class})", w, 100.0 * ratio);
+    }
+    let first = report.failure_by_popularity.first().map(|p| p.1).unwrap_or(0.0);
+    let last = report.failure_by_popularity.last().map(|p| p.1).unwrap_or(0.0);
+    println!(
+        "{}",
+        row("failure falls with popularity", "yes", if first > last { "yes".into() } else { "NO".into() })
+    );
+}
+
+fn fig11(report: &WeekReport, opts: &Options) {
+    section("Fig 11 — cloud upload bandwidth burden over the week (5-min bins)");
+    let cap_gbps = 30.0 * report_scale(report);
+    let (peak_bin, _) = report.burden_kbps.peak_bin();
+    println!(
+        "{}",
+        row(
+            "peak burden vs 30 Gbps purchased (scaled)",
+            "34 Gbps (exceeds)",
+            format!("{:.2} Gbps vs {:.2} Gbps cap", report.peak_burden_gbps(), cap_gbps)
+        )
+    );
+    println!(
+        "{}",
+        row("peak lands on day", "7", format!("{}", peak_bin * 300 / 86_400 + 1))
+    );
+    println!(
+        "{}",
+        row(
+            "burden share of highly popular files",
+            "≈40%",
+            format!("{:.0}%", 100.0 * report.hot_burden_fraction())
+        )
+    );
+    println!(
+        "{}",
+        row("rejected fetch requests", "1.5%", format!("{:.2}%", 100.0 * report.rejection_ratio()))
+    );
+    if let Some(dir) = &opts.out {
+        let mut f = std::fs::File::create(dir.join("fig11_burden.tsv")).unwrap();
+        writeln!(f, "t_secs\tburden_gbps\thot_gbps").unwrap();
+        for ((t, all), (_, hot)) in
+            report.burden_kbps.points().into_iter().zip(report.burden_hot_kbps.points())
+        {
+            writeln!(f, "{t}\t{}\t{}", kbps_to_gbps(all), kbps_to_gbps(hot)).unwrap();
+        }
+        println!("  [series → {}]", dir.join("fig11_burden.tsv").display());
+    }
+}
+
+/// Infer the replay scale from the report (capacity scaling is linear).
+fn report_scale(report: &WeekReport) -> f64 {
+    // requests / paper tasks
+    report.counters.requests as f64 / 4_084_417.0
+}
+
+fn headline(report: &WeekReport) {
+    section("§4 headline statistics (cloud)");
+    println!("{}", row("cache hit ratio", "89%", format!("{:.1}%", 100.0 * report.hit_ratio())));
+    println!(
+        "{}",
+        row("pre-download failure ratio", "8.7%", format!("{:.1}%", 100.0 * report.failure_ratio()))
+    );
+    println!(
+        "{}",
+        row(
+            "pre-download traffic / payload",
+            "196%",
+            format!("{:.0}%", 100.0 * report.traffic_overhead_factor())
+        )
+    );
+    println!(
+        "{}",
+        row("impeded fetches (< 125 KBps)", "28%", format!("{:.1}%", 100.0 * report.impeded_ratio()))
+    );
+    let fetches = report.fetches.len() as f64;
+    println!(
+        "{}",
+        row(
+            "  of which ISP barrier",
+            "9.6%",
+            format!("{:.1}%", 100.0 * report.counters.impeded_barrier as f64 / fetches)
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "  of which low access bandwidth",
+            "10.8%",
+            format!("{:.1}%", 100.0 * report.counters.impeded_low_access as f64 / fetches)
+        )
+    );
+    println!(
+        "{}",
+        row("  of which rejected", "1.5%", format!("{:.2}%", 100.0 * report.rejection_ratio()))
+    );
+    println!(
+        "{}",
+        row(
+            "  of which dynamics/unknown",
+            "6.1%",
+            format!("{:.1}%", 100.0 * report.counters.impeded_dynamics as f64 / fetches)
+        )
+    );
+}
+
+fn fig13(report: &odx::smartap::ApBenchReport, opts: &Options) {
+    section("Fig 13 — smart AP pre-downloading speed CDF (KBps)");
+    let ecdf = report.speed_ecdf();
+    println!("{}", row("all APs", "med 27 / mean 64", mmmm(&ecdf.summary().unwrap())));
+    for ap in ApModel::ALL {
+        let paper = if ap == ApModel::Newifi { "930" } else { "2370" };
+        println!(
+            "{}",
+            row(
+                &format!("max on {ap}"),
+                paper,
+                format!("{:.0}", report.max_speed_kbps(ap))
+            )
+        );
+    }
+    dump_cdf(opts, "fig13_ap_speed_cdf.tsv", &ecdf);
+}
+
+fn fig14(report: &odx::smartap::ApBenchReport, opts: &Options) {
+    section("Fig 14 — smart AP pre-downloading delay CDF (minutes)");
+    let ecdf = report.delay_ecdf();
+    println!("{}", row("all APs", "med 77 / mean 402", mmmm(&ecdf.summary().unwrap())));
+    dump_cdf(opts, "fig14_ap_delay_cdf.tsv", &ecdf);
+}
+
+fn ap_headline(report: &odx::smartap::ApBenchReport) {
+    section("§5.2 headline statistics (smart APs)");
+    println!(
+        "{}",
+        row("overall failure ratio", "16.8%", format!("{:.1}%", 100.0 * report.failure_ratio()))
+    );
+    println!(
+        "{}",
+        row(
+            "unpopular-file failure ratio",
+            "42%",
+            format!("{:.1}%", 100.0 * report.unpopular_failure_ratio())
+        )
+    );
+    let [seeds, conn, bug] = report.cause_shares();
+    println!(
+        "{}",
+        row(
+            "failure causes (seeds/connection/bugs)",
+            "86% / 10% / 4%",
+            format!("{:.0}% / {:.0}% / {:.0}%", 100.0 * seeds, 100.0 * conn, 100.0 * bug)
+        )
+    );
+}
+
+fn print_table2() {
+    section("Table 2 — max pre-download speed (MBps) and iowait per (device, fs)");
+    let paper: &[(DeviceKind, FsKind, f64, f64)] = &[
+        (DeviceKind::SdCard, FsKind::Fat, 2.37, 0.421),
+        (DeviceKind::SataHdd, FsKind::Ext4, 2.37, 0.297),
+        (DeviceKind::UsbFlash, FsKind::Fat, 2.12, 0.663),
+        (DeviceKind::UsbFlash, FsKind::Ntfs, 0.93, 0.151),
+        (DeviceKind::UsbFlash, FsKind::Ext4, 2.13, 0.55),
+        (DeviceKind::UsbHdd, FsKind::Fat, 2.37, 0.42),
+        (DeviceKind::UsbHdd, FsKind::Ntfs, 1.13, 0.098),
+        (DeviceKind::UsbHdd, FsKind::Ext4, 2.37, 0.174),
+    ];
+    println!(
+        "  {:<8} {:<22} {:<6} {:>14} {:>16}",
+        "AP", "device", "fs", "speed (paper)", "iowait (paper)"
+    );
+    for r in table2::table2() {
+        let reference = paper.iter().find(|(d, f, _, _)| *d == r.device && *f == r.fs);
+        let (ps, pi) = reference.map(|(_, _, s, i)| (*s, *i)).unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "  {:<8} {:<22} {:<6} {:>6.2} ({:>5.2}) {:>8.1}% ({:>5.1}%)",
+            r.ap.to_string(),
+            r.device.to_string(),
+            r.fs.to_string(),
+            r.max_speed_mbps,
+            ps,
+            100.0 * r.iowait,
+            100.0 * pi
+        );
+    }
+    let best = table2::best_newifi_setup();
+    println!(
+        "{}",
+        row(
+            "best Newifi setup",
+            "USB HDD + EXT4",
+            format!("{} + {}", best.device, best.fs)
+        )
+    );
+}
+
+fn fig15() {
+    section("Fig 15 — ODR decision table (the workflow state machine)");
+    use odx::odr::{ApContext, OdrEngine, OdrRequest};
+    use odx::trace::{PopularityClass, Protocol};
+    let engine = OdrEngine::default();
+    println!(
+        "  {:<15} {:<10} {:<7} {:<8} {:>7}  decision",
+        "popularity", "protocol", "cached", "isp", "access"
+    );
+    let grid = [
+        (PopularityClass::HighlyPopular, Protocol::BitTorrent, true, odx::net::Isp::Telecom, 2500.0),
+        (PopularityClass::HighlyPopular, Protocol::BitTorrent, true, odx::net::Isp::Telecom, 400.0),
+        (PopularityClass::HighlyPopular, Protocol::Http, true, odx::net::Isp::Telecom, 400.0),
+        (PopularityClass::HighlyPopular, Protocol::Http, false, odx::net::Isp::Telecom, 400.0),
+        (PopularityClass::Popular, Protocol::BitTorrent, true, odx::net::Isp::Telecom, 400.0),
+        (PopularityClass::Popular, Protocol::BitTorrent, true, odx::net::Isp::Other, 400.0),
+        (PopularityClass::Popular, Protocol::BitTorrent, true, odx::net::Isp::Telecom, 80.0),
+        (PopularityClass::Unpopular, Protocol::BitTorrent, false, odx::net::Isp::Telecom, 400.0),
+        (PopularityClass::Unpopular, Protocol::Ftp, true, odx::net::Isp::Telecom, 400.0),
+    ];
+    for (pop, proto, cached, isp, access) in grid {
+        let verdict = engine.decide(&OdrRequest {
+            popularity: pop,
+            protocol: proto,
+            cached_in_cloud: cached,
+            isp,
+            access_kbps: access,
+            ap: Some(ApContext::bench(ApModel::Newifi)),
+        });
+        println!(
+            "  {:<15} {:<10} {:<7} {:<8} {:>7.0}  {}",
+            pop.to_string(),
+            proto.to_string(),
+            cached,
+            isp.to_string(),
+            access,
+            verdict.decision
+        );
+    }
+}
+
+fn fig16(cloud: Option<&WeekReport>, eval: &OdrEvalReport, scale: f64) {
+    section("Fig 16 — the four bottlenecks: baseline vs ODR");
+    let base_impeded = cloud.map(|c| c.impeded_ratio()).unwrap_or(0.28);
+    println!(
+        "{}",
+        row(
+            "B1 impeded fetches",
+            "28% → 9%",
+            format!("{:.1}% → {:.1}%", 100.0 * base_impeded, 100.0 * eval.impeded_ratio())
+        )
+    );
+    if let Some(cloud) = cloud {
+        let cap = kbps_to_gbps(CloudConfig::at_scale(scale).scaled_upload_kbps());
+        let peak = cloud.peak_burden_gbps();
+        let odr_peak = peak * eval.cloud_upload_fraction();
+        println!(
+            "{}",
+            row(
+                "B2 purchased / peak burden",
+                "0.88 → 1.36",
+                format!("{:.2} → {:.2}", cap / peak, cap / odr_peak)
+            )
+        );
+    }
+    println!(
+        "{}",
+        row(
+            "B2 cloud upload bytes (vs all-cloud)",
+            "-35%",
+            format!("{:+.0}%", 100.0 * (eval.cloud_upload_fraction() - 1.0))
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "B3 unpopular failures (AP → ODR)",
+            "42% → 13%",
+            format!(
+                "{:.1}% → {:.1}%",
+                100.0 * eval.baseline_ap().unpopular_failure_ratio(),
+                100.0 * eval.unpopular_failure_ratio()
+            )
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "B4 storage restrictions (at-risk → ODR)",
+            "avoided",
+            format!(
+                "{:.1}% → {:.1}%",
+                100.0 * eval.baseline_b4_ratio(),
+                100.0 * eval.storage_limited_ratio()
+            )
+        )
+    );
+    println!(
+        "{}",
+        row("incorrect redirections", "<1%", format!("{:.2}%", 100.0 * eval.incorrect_ratio()))
+    );
+}
+
+fn fig17(eval: &OdrEvalReport, opts: &Options) {
+    section("Fig 17 — fetching speeds using ODR (KBps)");
+    let ecdf = eval.fetch_speed_ecdf();
+    println!(
+        "{}",
+        row("ODR fetches", "med 368 / mean 509 / max 2370", mmmm(&ecdf.summary().unwrap()))
+    );
+    dump_cdf(opts, "fig17_odr_fetch_speed_cdf.tsv", &ecdf);
+}
+
+fn ablate_cache(study: &Study, baseline: &WeekReport) {
+    section("Ablation — remove the cloud storage pool (§4.1 counterfactual)");
+    let mut cfg = CloudConfig::at_scale(study.scale);
+    cfg.cache_enabled = false;
+    let report = study.replay_cloud_with(cfg);
+    println!(
+        "{}",
+        row(
+            "failure ratio with pool",
+            "8.7%",
+            format!("{:.1}%", 100.0 * baseline.failure_ratio())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "failure ratio without pool",
+            "16.4%",
+            format!("{:.1}%", 100.0 * report.failure_ratio())
+        )
+    );
+}
+
+fn ablate_privileged(study: &Study, baseline: &WeekReport) {
+    section("Ablation — disable privileged-path construction");
+    let mut cfg = CloudConfig::at_scale(study.scale);
+    cfg.privileged_paths_enabled = false;
+    let report = study.replay_cloud_with(cfg);
+    println!(
+        "{}",
+        row(
+            "impeded fetches, privileged paths on",
+            "28%",
+            format!("{:.1}%", 100.0 * baseline.impeded_ratio())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "impeded fetches, every fetch cross-ISP",
+            "(not measured)",
+            format!("{:.1}%", 100.0 * report.impeded_ratio())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "fetch median, privileged on → off",
+            "287 → (collapses)",
+            format!(
+                "{:.0} → {:.0} KBps",
+                baseline.fetch_speed_ecdf().median().unwrap(),
+                report.fetch_speed_ecdf().median().unwrap()
+            )
+        )
+    );
+}
+
+fn ablate_storage() {
+    section("Ablation — storage sweep: when does the write path bind?");
+    println!("  effective rate (MBps) by offered network rate, Newifi-class CPU (580 MHz):");
+    println!(
+        "  {:<22} {:<6} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "device", "fs", "0.5", "1.0", "2.37", "5.0", "10.0"
+    );
+    for device in DeviceKind::ALL {
+        for fs in FsKind::ALL {
+            let rates: Vec<String> = [0.5, 1.0, 2.37, 5.0, 10.0]
+                .iter()
+                .map(|&offered| {
+                    let eff = odx::storage::effective_rate_kbps(
+                        device,
+                        fs,
+                        580.0,
+                        offered * 1000.0,
+                    ) / 1000.0;
+                    format!("{eff:>7.2}")
+                })
+                .collect();
+            println!("  {:<22} {:<6} {}", device.to_string(), fs.to_string(), rates.join(""));
+        }
+    }
+    println!("  (cells < offered indicate the storage path, not the network, is binding)");
+}
+
+fn sweep_cache(study: &Study) {
+    section("Extension — storage-pool size vs cache hits and failures");
+    println!("  (the paper's pool is 2 PB ≈ catalog-sized; how small could it be?)");
+    for fraction in [0.0001_f64, 0.001, 0.01, 0.1, 1.0] {
+        let mut cfg = CloudConfig::at_scale(study.scale);
+        cfg.cache_capacity_mb *= fraction;
+        let report = study.replay_cloud_with(cfg);
+        println!(
+            "  pool ×{fraction:<7}: hit {:>5.1}%  failure {:>4.1}%  impeded {:>5.1}%",
+            100.0 * report.hit_ratio(),
+            100.0 * report.failure_ratio(),
+            100.0 * report.impeded_ratio()
+        );
+    }
+    println!("  (hits collapse once the LRU can no longer hold the working set)");
+}
+
+fn ablate_concurrency(study: &Study, sample_size: usize) {
+    section("Extension — sequential vs concurrent AP replay (aria2 job slots)");
+    use odx::smartap::concurrent::replay_concurrent;
+    let sample = study.benchmark_sample(sample_size.min(300));
+    println!("  ({} tasks on MiWiFi; same pre-drawn sources, only concurrency varies)", sample.len());
+    for slots in [1usize, 2, 4, 8] {
+        let report = replay_concurrent(
+            ApModel::MiWiFi,
+            &sample,
+            slots,
+            &study.rngs.child("concurrency"),
+        );
+        println!(
+            "  {slots} slot(s): makespan {:>9}  failure {:>5.1}%",
+            format!("{}", report.makespan),
+            100.0 * report.failure_ratio()
+        );
+    }
+    println!("  (the paper's sequential §5.1 methodology = 1 slot)");
+}
+
+fn export_traces(study: &Study, opts: &Options) {
+    section("Export — the dataset's three traces as TSV");
+    let dir = opts.out.clone().unwrap_or_else(|| PathBuf::from("out"));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let report = study.replay_cloud();
+
+    // Workload trace.
+    let workload_records: Vec<odx::trace::records::WorkloadRecord> = study
+        .workload
+        .requests()
+        .iter()
+        .map(|r| {
+            let user = study.population.user(r.user);
+            let file = study.catalog.file(r.file);
+            odx::trace::records::WorkloadRecord {
+                user_id: r.user,
+                isp: user.isp,
+                access_kbps: user.reports_bandwidth.then_some(user.access_kbps),
+                request_time: r.at,
+                file_type: file.ftype,
+                size_mb: file.size_mb,
+                source_link: file.source_link(),
+                protocol: file.protocol,
+            }
+        })
+        .collect();
+    for (name, write) in [
+        ("workload_trace.tsv", 0usize),
+        ("predownload_trace.tsv", 1),
+        ("fetch_trace.tsv", 2),
+    ] {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        match write {
+            0 => odx::trace::io::write_tsv(&mut f, &workload_records).unwrap(),
+            1 => odx::trace::io::write_tsv(&mut f, &report.predownloads).unwrap(),
+            _ => odx::trace::io::write_tsv(&mut f, &report.fetches).unwrap(),
+        }
+        println!("  wrote {}", path.display());
+    }
+}
+
+fn ablate_dedup(study: &Study) {
+    section("Ablation — chunk-level vs file-level deduplication (§2.1)");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+    let est = odx::cloud::dedup::estimate(
+        &study.catalog,
+        &odx::cloud::dedup::DedupConfig::default(),
+        &mut rng,
+    );
+    println!(
+        "{}",
+        row(
+            "extra saving of chunk-level dedup",
+            "< 1%",
+            format!("{:.2}%", 100.0 * est.extra_saving())
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "index entries: chunks vs files",
+            "(much larger)",
+            format!("{} vs {}", est.chunk_count, study.catalog.len())
+        )
+    );
+}
+
+fn ablate_ledbat(study: &Study) {
+    section("Extension — LEDBAT-style cloud seeding of hot swarms (§6.1 discussion)");
+    use odx::p2p::multiplier::{BandwidthMultiplier, SeedGovernor};
+    use odx::sim::SimTime;
+    let report = study.replay_cloud();
+    let cap_kbps = CloudConfig::at_scale(study.scale).scaled_upload_kbps();
+    let mult = BandwidthMultiplier::default();
+    let mut governor = SeedGovernor::new(cap_kbps, 300.0);
+
+    // Walk the measured burden series: whatever headroom the fetch traffic
+    // leaves becomes background seeding budget, which the multiplier turns
+    // into aggregate swarm distribution bandwidth.
+    let mut seed_amount_kb = 0.0;
+    let mut distributed_kb = 0.0;
+    let swarm_size = 120.0; // a typical highly-popular swarm
+    for (t, burden) in report.burden_kbps.points() {
+        let now = SimTime::from_millis((t * 1000.0) as u64);
+        let allowance = governor.allowance_kbps(now, burden);
+        let kb = allowance * report.burden_kbps.bin_width();
+        if governor.consume(now, kb) {
+            seed_amount_kb += kb;
+            distributed_kb += kb * mult.multiplier(swarm_size);
+        }
+    }
+    let week_secs = 7.0 * 86_400.0;
+    println!(
+        "{}",
+        row(
+            "idle capacity usable for seeding",
+            "(unquantified)",
+            format!("{:.2} Gbps average", kbps_to_gbps(seed_amount_kb / week_secs))
+        )
+    );
+    println!(
+        "{}",
+        row(
+            "aggregate distribution via multiplier",
+            "(unquantified)",
+            format!(
+                "{:.1} Gbps average ({:.1}x the seeding spend)",
+                kbps_to_gbps(distributed_kb / week_secs),
+                mult.multiplier(swarm_size)
+            )
+        )
+    );
+    println!("  (LEDBAT yields to foreground fetches, so rejections are unaffected)");
+}
+
+fn sweep_userbase(study: &Study) {
+    section("Extension — user-base growth vs fetch rejections (Bottleneck 2's trend)");
+    println!("  demand grows while the purchased 30 Gbps (scaled) stays fixed:");
+    for factor in [1.0_f64, 1.25, 1.5, 2.0] {
+        let mut cfg = CloudConfig::at_scale(study.scale);
+        // Same workload, proportionally less capacity = proportionally more
+        // demand per unit capacity.
+        cfg.upload_total_kbps /= factor;
+        let report = study.replay_cloud_with(cfg);
+        println!(
+            "  demand ×{factor:<4} → rejected {:>5.2}%   impeded {:>5.1}%",
+            100.0 * report.rejection_ratio(),
+            100.0 * report.impeded_ratio()
+        );
+    }
+    println!("  (paper: \"the cloud will have to reject more (>1.5%) fetching requests\")");
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # odx-bench — benchmarks and the figure/table reproduction harness
+//!
+//! Two entry points:
+//!
+//! * `cargo run --release -p odx-bench --bin repro [-- <command>]` — print
+//!   every table and figure of the paper next to the values this
+//!   reproduction measures (and optionally dump the plotted series as TSV).
+//! * `cargo bench -p odx-bench` — Criterion micro/macro benchmarks, one
+//!   group per experiment plus core data-structure microbenchmarks.
+//!
+//! Shared helpers for both live here.
+
+use odx::stats::Summary;
+
+/// Format a `paper vs measured` row.
+pub fn row(label: &str, paper: &str, measured: String) -> String {
+    format!("  {label:<42} paper: {paper:<18} measured: {measured}")
+}
+
+/// Compact `min/median/mean/max` rendering of a summary.
+pub fn mmmm(s: &Summary) -> String {
+    format!("min {:.0} / med {:.0} / mean {:.0} / max {:.0}", s.min, s.median, s.mean, s.max)
+}
+
+/// Relative difference as a signed percentage string.
+pub fn rel(measured: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        return String::from("n/a");
+    }
+    format!("{:+.0}%", 100.0 * (measured - paper) / paper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_formats_signed_percentages() {
+        assert_eq!(rel(110.0, 100.0), "+10%");
+        assert_eq!(rel(90.0, 100.0), "-10%");
+        assert_eq!(rel(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row("x", "1", "2".to_owned());
+        assert!(r.contains("paper: 1"));
+        assert!(r.contains("measured: 2"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The fetch engine: per-user fetch rate determination (§4.2).
+
+use odx_net::BarrierModel;
+use odx_stats::dist::{u01, Dist, LogNormal};
+use odx_trace::User;
+use rand::Rng;
+
+use crate::{Admission, CloudConfig, UploadPool};
+
+/// The outcome of planning one fetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchPlan {
+    /// Pool admission (rate reserved until the fetch ends).
+    pub admission: Admission,
+    /// The end-to-end fetch rate the user experiences (KBps); zero when
+    /// rejected.
+    pub rate_kbps: f64,
+    /// Whether the path crossed the ISP barrier.
+    pub crossed_barrier: bool,
+    /// Whether transient network dynamics degraded this fetch (the paper's
+    /// unexplained 6.1 % slice).
+    pub dynamics_degraded: bool,
+    /// Fraction of the file the user actually fetches. Most fetches run to
+    /// completion; view-as-download users abandon some partway (the fetch
+    /// trace's "finish/pause time" and partial "acquired file size").
+    pub fetched_fraction: f64,
+}
+
+/// Plans fetches against the upload pool.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchModel {
+    barrier: BarrierModel,
+    fetch_cap_kbps: f64,
+    dynamics_probability: f64,
+    efficiency: LogNormal,
+}
+
+impl FetchModel {
+    /// Model from the cloud config.
+    pub fn new(cfg: &CloudConfig) -> Self {
+        FetchModel {
+            barrier: BarrierModel::default(),
+            fetch_cap_kbps: cfg.fetch_cap_kbps,
+            dynamics_probability: cfg.dynamics_probability,
+            // TCP efficiency on the last mile: just below 1 with a small
+            // spread.
+            efficiency: LogNormal::from_median(0.95, 0.10),
+        }
+    }
+
+    /// Plan a fetch for `user`, reserving bandwidth in `pool`. The caller
+    /// must [`UploadPool::release`] the admission when the fetch completes.
+    pub fn plan(&self, user: &User, pool: &mut UploadPool, rng: &mut dyn Rng) -> FetchPlan {
+        let efficiency = self.efficiency.sample(rng).clamp(0.3, 1.0);
+        let mut desired = (user.access_kbps * efficiency).min(self.fetch_cap_kbps);
+
+        // Transient network dynamics degrade the deliverable rate before
+        // admission, so the pool reserves what the flow actually consumes.
+        let dynamics_degraded = u01(rng) < self.dynamics_probability;
+        if dynamics_degraded {
+            desired *= 0.05 + 0.45 * u01(rng);
+        }
+
+        // What the flow would get if it has to cross the ISP barrier.
+        let cross = desired.min(self.barrier.sample(rng));
+        let admission = pool.admit(user.isp, desired, cross);
+        let rate = admission.rate_kbps();
+        let crossed_barrier = matches!(admission, Admission::CrossIsp { .. });
+
+        // Users abandon fetches partway (the trace's "finish/pause time"),
+        // and they abandon *slow* fetches far more often — nobody watches a
+        // stalled video to the end.
+        let abandon_p =
+            if rate < odx_net::HD_THRESHOLD_KBPS { 0.55 } else { 0.10 };
+        let fetched_fraction =
+            if u01(rng) < abandon_p { 0.15 + 0.70 * u01(rng) } else { 1.0 };
+
+        FetchPlan {
+            admission,
+            rate_kbps: rate,
+            crossed_barrier,
+            dynamics_degraded: dynamics_degraded && !matches!(admission, Admission::Rejected),
+            fetched_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odx_net::Isp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (FetchModel, UploadPool, StdRng) {
+        let cfg = CloudConfig::default();
+        (
+            FetchModel::new(&cfg),
+            UploadPool::new(1.0e6, cfg.upload_split, cfg.admission_floor_kbps),
+            StdRng::seed_from_u64(100),
+        )
+    }
+
+    fn user(isp: Isp, access: f64) -> User {
+        User { isp, access_kbps: access, reports_bandwidth: true }
+    }
+
+    #[test]
+    fn major_isp_fetch_tracks_access_bandwidth() {
+        let (m, mut pool, mut rng) = setup();
+        let mut rates = Vec::new();
+        for _ in 0..2000 {
+            let plan = m.plan(&user(Isp::Telecom, 400.0), &mut pool, &mut rng);
+            if !plan.dynamics_degraded {
+                rates.push(plan.rate_kbps);
+            }
+            pool.release(plan.admission.server_isp().unwrap(), plan.admission.rate_kbps());
+        }
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!((mean - 400.0 * 0.95).abs() < 20.0, "mean {mean}");
+        assert!(rates.iter().all(|&r| r <= 400.0));
+    }
+
+    #[test]
+    fn outside_isp_users_are_barrier_limited() {
+        let (m, mut pool, mut rng) = setup();
+        let mut below_hd = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let plan = m.plan(&user(Isp::Other, 2000.0), &mut pool, &mut rng);
+            assert!(plan.crossed_barrier);
+            if plan.rate_kbps < odx_net::HD_THRESHOLD_KBPS {
+                below_hd += 1;
+            }
+            pool.release(plan.admission.server_isp().unwrap(), plan.admission.rate_kbps());
+        }
+        assert!(
+            below_hd as f64 / n as f64 > 0.8,
+            "barrier users mostly below HD threshold: {below_hd}/{n}"
+        );
+    }
+
+    #[test]
+    fn fetch_rate_never_exceeds_cloud_cap() {
+        let (m, mut pool, mut rng) = setup();
+        for _ in 0..500 {
+            let plan = m.plan(&user(Isp::Unicom, 12_500.0), &mut pool, &mut rng);
+            assert!(plan.rate_kbps <= odx_net::CLOUD_FETCH_CAP_KBPS);
+            pool.release(plan.admission.server_isp().unwrap(), plan.admission.rate_kbps());
+        }
+    }
+
+    #[test]
+    fn dynamics_hits_a_small_fraction() {
+        let (m, mut pool, mut rng) = setup();
+        let n = 20_000;
+        let mut hit = 0;
+        for _ in 0..n {
+            let plan = m.plan(&user(Isp::Mobile, 400.0), &mut pool, &mut rng);
+            if plan.dynamics_degraded {
+                hit += 1;
+                assert!(plan.rate_kbps < 400.0 * 0.51);
+            }
+            pool.release(plan.admission.server_isp().unwrap(), plan.admission.rate_kbps());
+        }
+        let frac = hit as f64 / n as f64;
+        assert!((frac - 0.14).abs() < 0.015, "{frac}");
+    }
+
+    #[test]
+    fn exhausted_pool_rejects() {
+        let cfg = CloudConfig::default();
+        let m = FetchModel::new(&cfg);
+        let mut pool = UploadPool::new(100.0, cfg.upload_split, cfg.admission_floor_kbps);
+        let mut rng = StdRng::seed_from_u64(101);
+        // Saturate.
+        for _ in 0..50 {
+            let _ = m.plan(&user(Isp::Telecom, 6000.0), &mut pool, &mut rng);
+        }
+        let plan = m.plan(&user(Isp::Telecom, 400.0), &mut pool, &mut rng);
+        assert_eq!(plan.admission, Admission::Rejected);
+        assert_eq!(plan.rate_kbps, 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! View-as-download streaming viability (§4.2).
+//!
+//! Xuanfeng lets users play a video *while* fetching it ("view-as-download",
+//! the mode most users choose). Continuous playback of an HD video needs the
+//! fetch rate to keep up with the ~1 Mbps (125 KBps) playback rate — that is
+//! where the paper's bandwidth-bottleneck threshold comes from. This module
+//! models the buffer dynamics: startup delay, rebuffering, and whether a
+//! given fetch can stream at all.
+
+use odx_net::HD_THRESHOLD_KBPS;
+
+/// Playback parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaybackConfig {
+    /// Video playback rate (KBps). 125 = the paper's 1 Mbps HD rate.
+    pub bitrate_kbps: f64,
+    /// Startup buffer the player fills before playing (seconds of content).
+    pub startup_buffer_secs: f64,
+}
+
+impl Default for PlaybackConfig {
+    fn default() -> Self {
+        PlaybackConfig { bitrate_kbps: HD_THRESHOLD_KBPS, startup_buffer_secs: 10.0 }
+    }
+}
+
+/// The streaming experience of one view-as-download session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingOutcome {
+    /// Seconds until playback starts (startup buffer fill time).
+    pub startup_secs: f64,
+    /// Whether playback runs to the end without stalling.
+    pub continuous: bool,
+    /// Total stall time after start (seconds); zero when `continuous`.
+    pub total_stall_secs: f64,
+}
+
+/// Evaluate a constant-rate fetch of a `video_mb` video played at `playback`.
+///
+/// With a constant fetch rate the fluid buffer model is exact: if the fetch
+/// rate is at least the bitrate, one startup fill suffices; otherwise the
+/// player must pre-buffer enough that the remaining download finishes
+/// exactly when playback does (a single up-front stall in the optimal
+/// policy; greedy players spread it over many rebuffers — same total).
+pub fn evaluate(video_mb: f64, fetch_kbps: f64, playback: &PlaybackConfig) -> StreamingOutcome {
+    assert!(video_mb > 0.0, "empty video");
+    let startup = playback.startup_buffer_secs * playback.bitrate_kbps / fetch_kbps.max(1e-9);
+    if fetch_kbps >= playback.bitrate_kbps {
+        return StreamingOutcome {
+            startup_secs: startup,
+            continuous: true,
+            total_stall_secs: 0.0,
+        };
+    }
+    let duration_secs = video_mb * 1000.0 / playback.bitrate_kbps;
+    let download_secs = video_mb * 1000.0 / fetch_kbps.max(1e-9);
+    StreamingOutcome {
+        startup_secs: startup,
+        continuous: false,
+        total_stall_secs: (download_secs - duration_secs).max(0.0),
+    }
+}
+
+/// Fraction of a fetch-speed sample that can view-as-download continuously.
+pub fn streamable_fraction(fetch_speeds_kbps: &[f64], playback: &PlaybackConfig) -> f64 {
+    if fetch_speeds_kbps.is_empty() {
+        return 0.0;
+    }
+    fetch_speeds_kbps.iter().filter(|&&r| r >= playback.bitrate_kbps).count() as f64
+        / fetch_speeds_kbps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_fetch_streams_continuously() {
+        let out = evaluate(700.0, 300.0, &PlaybackConfig::default());
+        assert!(out.continuous);
+        assert_eq!(out.total_stall_secs, 0.0);
+        // 10 s of content at 125 KBps fetched at 300 KBps ≈ 4.2 s startup.
+        assert!((out.startup_secs - 10.0 * 125.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_is_the_papers_125_kbps() {
+        let cfg = PlaybackConfig::default();
+        assert!(evaluate(700.0, 125.0, &cfg).continuous);
+        assert!(!evaluate(700.0, 124.9, &cfg).continuous);
+    }
+
+    #[test]
+    fn slow_fetch_stall_time_is_the_rate_deficit() {
+        let cfg = PlaybackConfig::default();
+        // 100 MB at 62.5 KBps (half the bitrate): download takes 1600 s,
+        // playback 800 s → 800 s of stalling.
+        let out = evaluate(100.0, 62.5, &cfg);
+        assert!(!out.continuous);
+        assert!((out.total_stall_secs - 800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streamable_fraction_matches_impeded_complement() {
+        // The paper's "28 % of fetches are below 125 KBps" is exactly
+        // "72 % can view-as-download".
+        let speeds = vec![50.0, 100.0, 125.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 900.0];
+        let frac = streamable_fraction(&speeds, &PlaybackConfig::default());
+        assert!((frac - 0.8).abs() < 1e-12);
+        assert_eq!(streamable_fraction(&[], &PlaybackConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn pre_download_speeds_cannot_stream() {
+        // §4.1: the 25 KBps median pre-download speed "is unfit for
+        // continuous video streaming" — a feature-length video would stall
+        // for hours.
+        let out = evaluate(700.0, 25.0, &PlaybackConfig::default());
+        assert!(!out.continuous);
+        assert!(out.total_stall_secs > 4.0 * 3600.0, "{}", out.total_stall_secs);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # odx-odr — ODR, the Offline Downloading Redirector (§6)
+//!
+//! The paper's contribution: a middleware that takes an offline-downloading
+//! request plus a little user context and redirects it to wherever the best
+//! performance is expected — the cloud, the user's smart AP, the user's own
+//! device, or a cloud→AP relay — addressing the four bottlenecks the
+//! measurement study uncovered:
+//!
+//! 1. **B1** — cloud fetches are impeded (below 1 Mbps) by cross-ISP
+//!    delivery, low access bandwidth, or cloud upload exhaustion;
+//! 2. **B2** — the cloud wastes upload bandwidth on highly popular files
+//!    that swarms could serve;
+//! 3. **B3** — smart APs fail on 42 % of unpopular files (dead swarms);
+//! 4. **B4** — AP storage devices/filesystems cap pre-download speeds.
+//!
+//! Contents:
+//!
+//! * [`OdrEngine`] — the Figure 15 decision state machine. Pure, total, and
+//!   property-tested: every input produces exactly one decision with an
+//!   explicit rationale.
+//! * [`Bottleneck`] — detectors for B1–B4 over a request's context.
+//! * [`replay`] — the §6.2 evaluation: replay a sampled workload through
+//!   ODR against the same simulators the baselines use, producing the
+//!   Fig 16 bottleneck comparison and the Fig 17 fetch-speed CDF.
+//!
+//! ODR never transfers file bytes itself and requires no modification to
+//! the cloud or the APs; the deployable web-service wrapper lives in
+//! `odx-proto`.
+
+mod bottlenecks;
+mod decision;
+mod engine;
+pub mod replay;
+
+pub use bottlenecks::Bottleneck;
+pub use decision::{ApContext, Decision, OdrRequest, Verdict};
+pub use engine::{OdrConfig, OdrEngine};

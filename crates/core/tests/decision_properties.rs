@@ -1,0 +1,146 @@
+//! Property-based tests for the ODR decision engine: totality and the
+//! invariants of Figure 15 over the whole input space.
+
+use odx_net::Isp;
+use odx_odr::{ApContext, Bottleneck, Decision, OdrEngine, OdrRequest};
+use odx_smartap::ApModel;
+use odx_storage::{DeviceKind, FsKind};
+use odx_trace::{PopularityClass, Protocol};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = OdrRequest> {
+    let pops = prop_oneof![
+        Just(PopularityClass::Unpopular),
+        Just(PopularityClass::Popular),
+        Just(PopularityClass::HighlyPopular),
+    ];
+    let protos = prop_oneof![
+        Just(Protocol::BitTorrent),
+        Just(Protocol::EMule),
+        Just(Protocol::Http),
+        Just(Protocol::Ftp),
+    ];
+    let isps = prop_oneof![
+        Just(Isp::Unicom),
+        Just(Isp::Telecom),
+        Just(Isp::Mobile),
+        Just(Isp::Cernet),
+        Just(Isp::Other),
+    ];
+    let aps = prop_oneof![
+        Just(None),
+        (0usize..3, 0usize..4, 0usize..3).prop_map(|(m, d, f)| {
+            Some(ApContext {
+                model: ApModel::ALL[m],
+                device: DeviceKind::ALL[d],
+                fs: FsKind::ALL[f],
+            })
+        }),
+    ];
+    (pops, protos, any::<bool>(), isps, 1.0f64..20_000.0, aps).prop_map(
+        |(popularity, protocol, cached_in_cloud, isp, access_kbps, ap)| OdrRequest {
+            popularity,
+            protocol,
+            cached_in_cloud,
+            isp,
+            access_kbps,
+            ap,
+        },
+    )
+}
+
+proptest! {
+    /// The engine is total and consistent: exactly one decision, and the
+    /// structural invariants of Figure 15 hold everywhere.
+    #[test]
+    fn decision_engine_invariants(req in arb_request()) {
+        let verdict = OdrEngine::default().decide(&req);
+
+        // Decisions that need an AP only fire when the user has one.
+        if matches!(verdict.decision, Decision::SmartAp | Decision::CloudThenSmartAp) {
+            prop_assert!(req.ap.is_some(), "{verdict:?}");
+        }
+
+        // Unpopular files never go to the AP or the user's device (B3).
+        if req.popularity == PopularityClass::Unpopular {
+            prop_assert!(
+                !matches!(verdict.decision, Decision::SmartAp | Decision::UserDevice),
+                "{verdict:?}"
+            );
+        }
+
+        // Non-highly-popular uncached files always pre-download via the
+        // cloud first (Fig 15 Case 2).
+        if req.popularity != PopularityClass::HighlyPopular && !req.cached_in_cloud {
+            prop_assert_eq!(verdict.decision, Decision::CloudPredownload);
+        }
+
+        // Highly popular P2P files never touch the cloud (B2): the whole
+        // point of the redirection.
+        if req.popularity == PopularityClass::HighlyPopular && req.protocol.is_p2p() {
+            prop_assert!(
+                matches!(verdict.decision, Decision::UserDevice | Decision::SmartAp),
+                "{verdict:?}"
+            );
+            prop_assert!(verdict.addresses.contains(&Bottleneck::B2CloudUploadWaste));
+        }
+
+        // HTTP/FTP-hosted files never go direct (the origin server would
+        // become the bottleneck).
+        if !req.protocol.is_p2p() {
+            prop_assert!(
+                !matches!(verdict.decision, Decision::UserDevice | Decision::SmartAp),
+                "{verdict:?}"
+            );
+        }
+
+        // The rationale only ever cites bottlenecks that actually apply.
+        for b in &verdict.addresses {
+            match b {
+                Bottleneck::B1CloudFetchImpeded => prop_assert!(Bottleneck::b1_at_risk(&req)),
+                Bottleneck::B2CloudUploadWaste => prop_assert!(Bottleneck::b2_applies(&req)),
+                Bottleneck::B3ApUnpopularFailure => prop_assert!(Bottleneck::b3_at_risk(&req)),
+                Bottleneck::B4ApStorageRestriction => {
+                    prop_assert!(Bottleneck::b4_at_risk(&req))
+                }
+            }
+        }
+    }
+
+    /// Determinism: equal inputs, equal verdicts.
+    #[test]
+    fn decision_engine_is_deterministic(req in arb_request()) {
+        let engine = OdrEngine::default();
+        prop_assert_eq!(engine.decide(&req), engine.decide(&req));
+    }
+
+    /// Monotonicity in access bandwidth for cached popular files: raising
+    /// the user's bandwidth never *introduces* the B1 relay.
+    #[test]
+    fn more_bandwidth_never_adds_the_relay(
+        low in 10.0f64..125.0,
+        boost in 150.0f64..10_000.0,
+        isp_major in any::<bool>(),
+    ) {
+        let base = OdrRequest {
+            popularity: PopularityClass::Popular,
+            protocol: Protocol::BitTorrent,
+            cached_in_cloud: true,
+            isp: if isp_major { Isp::Telecom } else { Isp::Other },
+            access_kbps: low,
+            ap: Some(ApContext::bench(ApModel::MiWiFi)),
+        };
+        let engine = OdrEngine::default();
+        let slow = engine.decide(&base).decision;
+        let fast = engine
+            .decide(&OdrRequest { access_kbps: low + boost, ..base })
+            .decision;
+        if slow == Decision::Cloud {
+            prop_assert_eq!(fast, Decision::Cloud);
+        }
+        if !isp_major {
+            // Outside the majors the relay persists regardless of speed.
+            prop_assert_eq!(fast, Decision::CloudThenSmartAp);
+        }
+    }
+}

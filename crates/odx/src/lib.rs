@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+
+//! # odx — offline downloading in China, reproduced
+//!
+//! Facade crate for the workspace reproducing *"Offline Downloading in
+//! China: A Comparative Study"* (IMC 2015): re-exports every subsystem and
+//! provides [`Study`], the one-call bundle that generates a calibrated
+//! synthetic measurement week.
+//!
+//! ```
+//! use odx::Study;
+//!
+//! // A 0.5 %-scale study (≈ 20k tasks) — deterministic in the seed.
+//! let study = Study::generate(0.005, 42);
+//! assert!(study.workload.len() > 10_000);
+//!
+//! // Replay the week on the cloud model and look at Fig 8's fetch curve.
+//! let report = study.replay_cloud();
+//! let median = report.fetch_speed_ecdf().median().unwrap();
+//! assert!(median > 100.0 && median < 600.0);
+//! ```
+//!
+//! The crate-level view of the system lives in `DESIGN.md`; the
+//! paper-vs-measured ledger in `EXPERIMENTS.md`.
+
+pub use odx_cloud as cloud;
+pub use odx_net as net;
+pub use odx_odr as odr;
+pub use odx_p2p as p2p;
+pub use odx_proto as proto;
+pub use odx_sim as sim;
+pub use odx_smartap as smartap;
+pub use odx_stats as stats;
+pub use odx_storage as storage;
+pub use odx_trace as trace;
+
+use odx_cloud::{CloudConfig, WeekReport, XuanfengCloud};
+use odx_odr::replay::{OdrEvalReport, OdrReplay};
+use odx_sim::RngFactory;
+use odx_smartap::{ApBenchReport, SmartApBenchmark};
+use odx_trace::{
+    sample_benchmark_workload, sample_eval_workload, Catalog, CatalogConfig, Population,
+    PopulationConfig, SampledRequest, Workload, WorkloadConfig,
+};
+use rand::SeedableRng;
+
+/// A generated measurement week: file catalog, user population, and the
+/// request stream — everything the paper's dataset contained, scaled.
+pub struct Study {
+    /// Workload scale relative to the paper (1.0 = 4.08 M tasks).
+    pub scale: f64,
+    /// The named RNG-stream factory all replays draw from.
+    pub rngs: RngFactory,
+    /// Unique files with sizes, types, protocols and weekly popularity.
+    pub catalog: Catalog,
+    /// Users with ISPs and access bandwidth.
+    pub population: Population,
+    /// The timestamped request stream across the week.
+    pub workload: Workload,
+}
+
+impl Study {
+    /// Generate a study at `scale` of the paper's size, deterministic in
+    /// `seed`.
+    pub fn generate(scale: f64, seed: u64) -> Study {
+        let rngs = RngFactory::new(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rngs.child("study").master());
+        let catalog = Catalog::generate(&CatalogConfig::scaled(scale), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(scale), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        Study { scale, rngs, catalog, population, workload }
+    }
+
+    /// Replay the week on the cloud system (§4, Figs 8–11).
+    pub fn replay_cloud(&self) -> WeekReport {
+        self.replay_cloud_with(CloudConfig::at_scale(self.scale))
+    }
+
+    /// Replay the week with an explicit cloud config (ablations).
+    pub fn replay_cloud_with(&self, cfg: CloudConfig) -> WeekReport {
+        XuanfengCloud::replay(&self.catalog, &self.population, &self.workload, cfg, &self.rngs)
+    }
+
+    /// Draw the §5.1 sampled workload (`n` Unicom requests with recorded
+    /// access bandwidth).
+    pub fn benchmark_sample(&self, n: usize) -> Vec<SampledRequest> {
+        let mut rng = self.rngs.stream("benchmark-sample");
+        sample_benchmark_workload(&self.workload, &self.catalog, &self.population, n, &mut rng)
+    }
+
+    /// Draw the §6.2 unbiased evaluation sample.
+    pub fn eval_sample(&self, n: usize) -> Vec<SampledRequest> {
+        let mut rng = self.rngs.stream("eval-sample");
+        sample_eval_workload(&self.workload, &self.catalog, &self.population, n, &mut rng)
+    }
+
+    /// Run the §5.1 smart-AP benchmark over `n` sampled requests
+    /// (Figs 13–14, §5.2 failure taxonomy).
+    pub fn replay_smart_aps(&self, n: usize) -> ApBenchReport {
+        SmartApBenchmark::replay(&self.benchmark_sample(n), &self.rngs.child("smartap"))
+    }
+
+    /// Run the §6.2 ODR evaluation over `n` sampled requests
+    /// (Figs 16–17).
+    pub fn replay_odr(&self, n: usize) -> OdrEvalReport {
+        OdrReplay::default().run(&self.eval_sample(n), &self.rngs.child("odr"))
+    }
+}

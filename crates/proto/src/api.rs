@@ -1,0 +1,281 @@
+//! The ODR wire API: JSON encodings of requests and verdicts.
+//!
+//! `POST /decide` body:
+//!
+//! ```json
+//! {
+//!   "link": "magnet:?xt=urn:btih:<hex>",
+//!   "isp": "unicom",
+//!   "access_kbps": 400.0,
+//!   "ap": {"model": "newifi", "device": "usb-flash", "fs": "ntfs"}
+//! }
+//! ```
+//!
+//! Response:
+//!
+//! ```json
+//! {"decision": "cloud+smart-ap", "popularity": "popular",
+//!  "addresses": ["B1 (impeded cloud fetch)"]}
+//! ```
+
+use odx_net::Isp;
+use odx_odr::{ApContext, OdrRequest, Verdict};
+use odx_smartap::ApModel;
+use odx_storage::{DeviceKind, FsKind};
+use odx_trace::{PopularityClass, Protocol};
+
+use crate::Json;
+
+/// A `/decide` request before popularity resolution: what the user submits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecideRequest {
+    /// Link to the original data source.
+    pub link: String,
+    /// The user's ISP.
+    pub isp: Isp,
+    /// Reported access bandwidth (KBps).
+    pub access_kbps: f64,
+    /// The user's smart AP, if any.
+    pub ap: Option<ApContext>,
+}
+
+impl DecideRequest {
+    /// Infer the transfer protocol from the submitted link's scheme.
+    pub fn protocol(&self) -> Result<Protocol, ApiError> {
+        let scheme = self.link.split(':').next().unwrap_or("");
+        match scheme {
+            "magnet" => Ok(Protocol::BitTorrent),
+            "ed2k" => Ok(Protocol::EMule),
+            "http" | "https" => Ok(Protocol::Http),
+            "ftp" => Ok(Protocol::Ftp),
+            other => Err(ApiError::new(format!("unsupported link scheme {other:?}"))),
+        }
+    }
+
+    /// Parse from a JSON body.
+    pub fn from_json(v: &Json) -> Result<DecideRequest, ApiError> {
+        let link = v
+            .get("link")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ApiError::new("missing \"link\""))?
+            .to_owned();
+        let isp = match v.get("isp").and_then(Json::as_str) {
+            Some("unicom") => Isp::Unicom,
+            Some("telecom") => Isp::Telecom,
+            Some("mobile") => Isp::Mobile,
+            Some("cernet") => Isp::Cernet,
+            Some("other") | None => Isp::Other,
+            Some(x) => return Err(ApiError::new(format!("unknown isp {x:?}"))),
+        };
+        let access_kbps = v
+            .get("access_kbps")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ApiError::new("missing \"access_kbps\""))?;
+        if !(access_kbps > 0.0 && access_kbps.is_finite()) {
+            return Err(ApiError::new("access_kbps must be positive"));
+        }
+        let ap = match v.get("ap") {
+            None | Some(Json::Null) => None,
+            Some(ap) => Some(parse_ap(ap)?),
+        };
+        Ok(DecideRequest { link, isp, access_kbps, ap })
+    }
+
+    /// Serialize to a JSON body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("link", Json::Str(self.link.clone())),
+            ("isp", Json::Str(isp_str(self.isp).to_owned())),
+            ("access_kbps", Json::Num(self.access_kbps)),
+        ];
+        if let Some(ap) = self.ap {
+            fields.push((
+                "ap",
+                Json::obj([
+                    ("model", Json::Str(ap_model_str(ap.model).to_owned())),
+                    ("device", Json::Str(device_str(ap.device).to_owned())),
+                    ("fs", Json::Str(fs_str(ap.fs).to_owned())),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Build the engine-level request given content-DB facts.
+    pub fn resolve(
+        &self,
+        popularity: PopularityClass,
+        cached_in_cloud: bool,
+    ) -> Result<OdrRequest, ApiError> {
+        Ok(OdrRequest {
+            popularity,
+            protocol: self.protocol()?,
+            cached_in_cloud,
+            isp: self.isp,
+            access_kbps: self.access_kbps,
+            ap: self.ap,
+        })
+    }
+}
+
+fn parse_ap(v: &Json) -> Result<ApContext, ApiError> {
+    let model = match v.get("model").and_then(Json::as_str) {
+        Some("hiwifi") => ApModel::HiWiFi,
+        Some("miwifi") => ApModel::MiWiFi,
+        Some("newifi") => ApModel::Newifi,
+        other => return Err(ApiError::new(format!("unknown ap model {other:?}"))),
+    };
+    let device = match v.get("device").and_then(Json::as_str) {
+        Some("sd") => DeviceKind::SdCard,
+        Some("usb-flash") => DeviceKind::UsbFlash,
+        Some("sata-hdd") => DeviceKind::SataHdd,
+        Some("usb-hdd") => DeviceKind::UsbHdd,
+        other => return Err(ApiError::new(format!("unknown device {other:?}"))),
+    };
+    let fs = match v.get("fs").and_then(Json::as_str) {
+        Some("fat") => FsKind::Fat,
+        Some("ntfs") => FsKind::Ntfs,
+        Some("ext4") => FsKind::Ext4,
+        other => return Err(ApiError::new(format!("unknown fs {other:?}"))),
+    };
+    Ok(ApContext { model, device, fs })
+}
+
+fn isp_str(isp: Isp) -> &'static str {
+    match isp {
+        Isp::Unicom => "unicom",
+        Isp::Telecom => "telecom",
+        Isp::Mobile => "mobile",
+        Isp::Cernet => "cernet",
+        Isp::Other => "other",
+    }
+}
+
+fn ap_model_str(m: ApModel) -> &'static str {
+    match m {
+        ApModel::HiWiFi => "hiwifi",
+        ApModel::MiWiFi => "miwifi",
+        ApModel::Newifi => "newifi",
+    }
+}
+
+fn device_str(d: DeviceKind) -> &'static str {
+    match d {
+        DeviceKind::SdCard => "sd",
+        DeviceKind::UsbFlash => "usb-flash",
+        DeviceKind::SataHdd => "sata-hdd",
+        DeviceKind::UsbHdd => "usb-hdd",
+    }
+}
+
+fn fs_str(f: FsKind) -> &'static str {
+    match f {
+        FsKind::Fat => "fat",
+        FsKind::Ntfs => "ntfs",
+        FsKind::Ext4 => "ext4",
+    }
+}
+
+/// Encode a verdict (plus the popularity the DB reported) as the `/decide`
+/// response body.
+pub fn verdict_to_json(verdict: &Verdict, popularity: PopularityClass) -> Json {
+    Json::obj([
+        ("decision", Json::Str(verdict.decision.to_string())),
+        ("popularity", Json::Str(popularity.to_string())),
+        (
+            "addresses",
+            Json::Arr(verdict.addresses.iter().map(|b| Json::Str(b.to_string())).collect()),
+        ),
+    ])
+}
+
+/// API-level error (maps to HTTP 400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> ApiError {
+        ApiError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecideRequest {
+        DecideRequest {
+            link: "magnet:?xt=urn:btih:00ff".into(),
+            isp: Isp::Cernet,
+            access_kbps: 512.0,
+            ap: Some(ApContext::bench(ApModel::Newifi)),
+        }
+    }
+
+    #[test]
+    fn decide_request_round_trips() {
+        let req = sample();
+        let parsed = DecideRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn protocol_from_scheme() {
+        let mut req = sample();
+        assert_eq!(req.protocol().unwrap(), Protocol::BitTorrent);
+        req.link = "ed2k://|file|x|1|y|/".into();
+        assert_eq!(req.protocol().unwrap(), Protocol::EMule);
+        req.link = "https://host/file".into();
+        assert_eq!(req.protocol().unwrap(), Protocol::Http);
+        req.link = "gopher://old".into();
+        assert!(req.protocol().is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        for body in [
+            "{}",
+            r#"{"link": "magnet:?x"}"#,
+            r#"{"link": "magnet:?x", "access_kbps": -5, "isp": "unicom"}"#,
+            r#"{"link": "magnet:?x", "access_kbps": 10, "isp": "unicom", "ap": {"model": "tplink"}}"#,
+        ] {
+            let v = Json::parse(body).unwrap();
+            assert!(DecideRequest::from_json(&v).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn verdict_encodes_with_rationale() {
+        let verdict = Verdict {
+            decision: odx_odr::Decision::CloudThenSmartAp,
+            addresses: vec![odx_odr::Bottleneck::B1CloudFetchImpeded],
+        };
+        let v = verdict_to_json(&verdict, PopularityClass::Popular);
+        assert_eq!(v.get("decision").and_then(Json::as_str), Some("cloud+smart-ap"));
+        assert_eq!(v.get("popularity").and_then(Json::as_str), Some("popular"));
+        match v.get("addresses") {
+            Some(Json::Arr(a)) => assert_eq!(a.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ap_less_request_round_trips() {
+        let mut req = sample();
+        req.ap = None;
+        let parsed = DecideRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed.ap, None);
+    }
+}

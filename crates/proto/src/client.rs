@@ -1,0 +1,47 @@
+//! A tiny blocking HTTP client (tests, examples, health checks).
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{HttpError, Method, Request, Response};
+
+fn send(addr: SocketAddr, req: &Request) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    req.write_to(&stream)?;
+    Response::read_from(&stream).map_err(|e| match e {
+        HttpError::Io(io) => io,
+        HttpError::Bad(m) => io::Error::new(io::ErrorKind::InvalidData, m),
+    })
+}
+
+/// GET `path` from `addr`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    send(
+        addr,
+        &Request {
+            method: Method::Get,
+            target: path.to_owned(),
+            headers: vec![("host".into(), addr.to_string())],
+            body: Default::default(),
+        },
+    )
+}
+
+/// POST a JSON `body` to `path` at `addr`.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> io::Result<Response> {
+    send(
+        addr,
+        &Request {
+            method: Method::Post,
+            target: path.to_owned(),
+            headers: vec![
+                ("host".into(), addr.to_string()),
+                ("content-type".into(), "application/json".into()),
+            ],
+            body: body.to_owned().into(),
+        },
+    )
+}

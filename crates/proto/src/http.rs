@@ -1,0 +1,377 @@
+//! A small HTTP/1.1 subset: enough to serve and consume the ODR API.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, response
+//! writing, case-insensitive header lookup. Not supported (deliberately):
+//! chunked encoding, pipelining, TLS — the ODR service is a tiny
+//! JSON-over-POST API.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on header section size (DoS guard).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Upper bound on body size (DoS guard).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// HTTP request methods the service accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path + optional query).
+    pub target: String,
+    /// Headers as received (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Request body.
+    pub body: Bytes,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The path portion of the target (without query string).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Read one request from a stream. `Ok(None)` means the peer closed the
+    /// connection cleanly before sending anything.
+    pub fn read_from(stream: impl Read) -> Result<Option<Request>, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(HttpError::io)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.trim_end().split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| HttpError::bad("unsupported method"))?;
+        let target = parts.next().ok_or_else(|| HttpError::bad("missing target"))?.to_owned();
+        let version = parts.next().ok_or_else(|| HttpError::bad("missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::bad("unsupported version"));
+        }
+
+        let mut headers = Vec::new();
+        let mut header_bytes = 0;
+        loop {
+            let mut hline = String::new();
+            reader.read_line(&mut hline).map_err(HttpError::io)?;
+            header_bytes += hline.len();
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(HttpError::bad("headers too large"));
+            }
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            let (name, value) =
+                trimmed.split_once(':').ok_or_else(|| HttpError::bad("malformed header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse().map_err(|_| HttpError::bad("bad content-length")))
+            .transpose()?
+            .unwrap_or(0);
+        if length > MAX_BODY_BYTES {
+            return Err(HttpError::bad("body too large"));
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(HttpError::io)?;
+        Ok(Some(Request { method, target, headers, body: Bytes::from(body) }))
+    }
+
+    /// Serialize for sending (client side).
+    pub fn write_to(&self, mut w: impl Write) -> std::io::Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.target).as_bytes());
+        for (name, value) in &self.headers {
+            buf.put_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        buf.put_slice(format!("content-length: {}\r\n\r\n", self.body.len()).as_bytes());
+        buf.put_slice(&self.body);
+        w.write_all(&buf)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type of the body.
+    pub content_type: &'static str,
+    /// Additional headers (e.g. `Set-Cookie`).
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into().into(),
+        }
+    }
+
+    /// 200 with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain",
+            extra_headers: Vec::new(),
+            body: body.into().into(),
+        }
+    }
+
+    /// 200 with an HTML body (the service's front page).
+    pub fn html(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into().into(),
+        }
+    }
+
+    /// Attach an extra header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.to_owned(), value.into()));
+        self
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = crate::Json::obj([("error", crate::Json::Str(message.to_owned()))]);
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.to_string_compact().into(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto a stream.
+    pub fn write_to(&self, mut w: impl Write) -> std::io::Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).as_bytes());
+        buf.put_slice(format!("content-type: {}\r\n", self.content_type).as_bytes());
+        buf.put_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        for (name, value) in &self.extra_headers {
+            buf.put_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        buf.put_slice(b"connection: close\r\n\r\n");
+        buf.put_slice(&self.body);
+        w.write_all(&buf)
+    }
+
+    /// Parse a response from a stream (client side).
+    pub fn read_from(stream: impl Read) -> Result<Response, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(HttpError::io)?;
+        let mut parts = line.trim_end().split(' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::bad("bad status line"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::bad("bad status code"))?;
+        let mut length = 0usize;
+        loop {
+            let mut hline = String::new();
+            reader.read_line(&mut hline).map_err(HttpError::io)?;
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| HttpError::bad("bad content-length"))?;
+                }
+            }
+        }
+        if length > MAX_BODY_BYTES {
+            return Err(HttpError::bad("body too large"));
+        }
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).map_err(HttpError::io)?;
+        Ok(Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: Bytes::from(body),
+        })
+    }
+}
+
+/// Errors from HTTP parsing/IO.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed message.
+    Bad(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    fn bad(msg: &str) -> HttpError {
+        HttpError::Bad(msg.to_owned())
+    }
+
+    fn io(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Bad(m) => write!(f, "bad request: {m}"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /decide HTTP/1.1\r\nHost: odr\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = Request::read_from(&raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path(), "/decide");
+        assert_eq!(req.header("host"), Some("odr"));
+        assert_eq!(req.header("HOST"), Some("odr"));
+        assert_eq!(&req.body[..], b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /healthz?x=1 HTTP/1.1\r\n\r\n";
+        let req = Request::read_from(&raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path(), "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_is_clean_close() {
+        assert!(Request::read_from(&b""[..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            &b"BREW /coffee HTTP/1.1\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],
+            &b"GET / HTTP/2\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n"[..],
+        ] {
+            assert!(Request::read_from(raw).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            method: Method::Post,
+            target: "/decide".into(),
+            headers: vec![("host".into(), "odr.thucloud.com".into())],
+            body: Bytes::from_static(b"{\"x\":1}"),
+        };
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        let parsed = Request::read_from(&wire[..]).unwrap().unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.target, "/decide");
+        assert_eq!(&parsed.body[..], b"{\"x\":1}");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response::json("{\"ok\":true}");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = Response::read_from(&wire[..]).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(&parsed.body[..], b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(Request::read_from(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_responses_carry_json() {
+        let resp = Response::error(404, "no such endpoint");
+        assert_eq!(resp.status, 404);
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert!(body.contains("no such endpoint"));
+    }
+}

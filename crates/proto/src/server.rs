@@ -1,0 +1,200 @@
+//! A blocking TCP server on a worker thread pool.
+
+use crossbeam::channel::{bounded, Sender};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{Request, Response};
+
+/// A request handler: anything callable from multiple worker threads.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one request.
+    fn handle(&self, req: Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: Request) -> Response {
+        self(req)
+    }
+}
+
+/// A running HTTP server. Dropping it shuts the listener and workers down.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `handler` on `workers` threads.
+    pub fn bind(addr: &str, workers: usize, handler: impl Handler) -> io::Result<Server> {
+        assert!(workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // A short accept timeout lets the accept loop observe shutdown.
+        listener.set_nonblocking(false)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handler = Arc::new(handler);
+
+        let (tx, rx) = bounded::<TcpStream>(64);
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        serve_connection(stream, handler.as_ref());
+                    }
+                })
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, tx, accept_shutdown);
+        });
+
+        Ok(Server { addr: local, shutdown, accept_thread: Some(accept_thread), workers: worker_handles })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the workers, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it notices the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = s.set_write_timeout(Some(Duration::from_secs(10)));
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    // Dropping tx disconnects the channel; workers drain and exit.
+}
+
+fn serve_connection(stream: TcpStream, handler: &impl Handler) {
+    let read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let response = match Request::read_from(read_half) {
+        Ok(Some(req)) => handler.handle(req),
+        Ok(None) => return,
+        Err(e) => Response::error(400, &e.to_string()),
+    };
+    let _ = response.write_to(&stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::http::Method;
+
+    fn echo_server() -> Server {
+        Server::bind("127.0.0.1:0", 2, |req: Request| {
+            if req.method == Method::Post {
+                Response::text(format!("echo:{}", String::from_utf8_lossy(&req.body)))
+            } else {
+                Response::text(format!("path:{}", req.path()))
+            }
+        })
+        .expect("bind")
+    }
+
+    #[test]
+    fn serves_get_and_post() {
+        let server = echo_server();
+        let addr = server.addr();
+        let get = client::get(addr, "/hello").unwrap();
+        assert_eq!(get.status, 200);
+        assert_eq!(&get.body[..], b"path:/hello");
+        let post = client::post_json(addr, "/x", "{\"a\":1}").unwrap();
+        assert_eq!(&post.body[..], b"echo:{\"a\":1}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn handles_concurrent_clients() {
+        let server = echo_server();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let resp =
+                        client::post_json(addr, "/c", &format!("{{\"i\":{i}}}")).unwrap();
+                    assert_eq!(resp.status, 200);
+                    assert!(String::from_utf8_lossy(&resp.body).contains(&format!("{i}")));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::Write;
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"BREW / HTTP/1.1\r\n\r\n").unwrap();
+        let resp = Response::read_from(&stream).unwrap();
+        assert_eq!(resp.status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let server = echo_server();
+        let addr = server.addr();
+        server.shutdown();
+        // Port is released: a new server can bind to the same address.
+        let again = Server::bind(&addr.to_string(), 1, |_req: Request| Response::text("ok"));
+        assert!(again.is_ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! The fetch phase on the home LAN (§5.2).
+//!
+//! "Since smart APs are located in the same LAN as users, the performance of
+//! the fetching phase is seldom an issue" — the lowest WiFi fetching speed
+//! the paper observed is 8–12 MBps, above even the cloud's 6.1 MBps maximum.
+//! The only contention case is several devices fetching at once, which the
+//! max–min solver from `odx-sim` covers.
+
+use odx_sim::fluid::{max_min_rates, FlowSpec};
+use odx_stats::dist::u01;
+use rand::Rng;
+
+use crate::ApModel;
+
+/// Lowest observed single-client WiFi fetch speed (KBps): 8 MBps.
+pub const WIFI_MIN_KBPS: f64 = 8_000.0;
+
+/// Highest observed single-client WiFi fetch speed (KBps): 12 MBps.
+pub const WIFI_MAX_KBPS: f64 = 12_000.0;
+
+/// Sample a single-client WiFi fetch rate for an AP (KBps). 802.11ac boxes
+/// sit toward the top of the observed band.
+pub fn wifi_rate_kbps(ap: ApModel, rng: &mut dyn Rng) -> f64 {
+    let (lo, hi) = if ap.has_80211ac() {
+        (WIFI_MIN_KBPS + 1500.0, WIFI_MAX_KBPS)
+    } else {
+        (WIFI_MIN_KBPS, WIFI_MAX_KBPS - 1500.0)
+    };
+    lo + (hi - lo) * u01(rng)
+}
+
+/// A direct dump from the AP's storage device (reader-side limit, KBps).
+pub fn dump_rate_kbps(ap: ApModel) -> f64 {
+    ap.bench_storage().device.max_read_mbps() * 1000.0
+}
+
+/// Concurrent LAN fetch rates: `n` clients share the AP's WiFi airtime and
+/// its storage read path; the result is the max–min allocation. Returns one
+/// rate (KBps) per client.
+pub fn concurrent_fetch_rates(ap: ApModel, n: usize, rng: &mut dyn Rng) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let wifi = wifi_rate_kbps(ap, rng);
+    let read = dump_rate_kbps(ap);
+    // Link 0: shared WiFi airtime; link 1: storage read path.
+    let flows: Vec<FlowSpec> = (0..n).map(|_| FlowSpec::over(vec![0, 1])).collect();
+    max_min_rates(&[wifi, read], &flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_client_wifi_beats_cloud_max() {
+        let mut rng = StdRng::seed_from_u64(150);
+        for ap in ApModel::ALL {
+            for _ in 0..100 {
+                let rate = wifi_rate_kbps(ap, &mut rng);
+                assert!((WIFI_MIN_KBPS..=WIFI_MAX_KBPS).contains(&rate));
+                // §5.2: even the lowest WiFi fetch exceeds Xuanfeng's
+                // 6.1 MBps maximum fetch speed.
+                assert!(rate > 6100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ac_models_are_faster_on_average() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let avg = |ap: ApModel, rng: &mut StdRng| -> f64 {
+            (0..2000).map(|_| wifi_rate_kbps(ap, rng)).sum::<f64>() / 2000.0
+        };
+        let hiwifi = avg(ApModel::HiWiFi, &mut rng);
+        let miwifi = avg(ApModel::MiWiFi, &mut rng);
+        assert!(miwifi > hiwifi, "{miwifi} vs {hiwifi}");
+    }
+
+    #[test]
+    fn concurrent_clients_share_fairly() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let rates = concurrent_fetch_rates(ApModel::MiWiFi, 4, &mut rng);
+        assert_eq!(rates.len(), 4);
+        let first = rates[0];
+        assert!(rates.iter().all(|r| (r - first).abs() < 1e-6), "equal shares");
+        // Four clients still each beat the HD threshold comfortably.
+        assert!(first > 1000.0);
+    }
+
+    #[test]
+    fn storage_read_can_be_the_roof() {
+        // HiWiFi's SD card reads at 30 MBps (30000 KBps) — above WiFi, so
+        // WiFi is the binding link for it.
+        let mut rng = StdRng::seed_from_u64(153);
+        let rates = concurrent_fetch_rates(ApModel::HiWiFi, 1, &mut rng);
+        assert!(rates[0] <= WIFI_MAX_KBPS);
+    }
+
+    #[test]
+    fn zero_clients() {
+        let mut rng = StdRng::seed_from_u64(154);
+        assert!(concurrent_fetch_rates(ApModel::Newifi, 0, &mut rng).is_empty());
+    }
+}

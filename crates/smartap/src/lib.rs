@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # odx-smartap — smart AP based offline downloading (§2.2 / §5)
+//!
+//! Models the three smart APs the paper benchmarks — HiWiFi 1S, MiWiFi and
+//! Newifi — and the §5.1 replay methodology:
+//!
+//! * [`ApModel`] — Table 1 hardware (CPU, RAM, storage interface/device,
+//!   WiFi) plus each AP's shipped filesystem constraints (HiWiFi's SD card
+//!   only works as FAT; MiWiFi's disk is EXT4 and cannot be reformatted).
+//! * [`ApEngine`] — the aria2/wget-style download engine: one source attempt
+//!   (same swarm/HTTP models as the cloud's pre-downloaders), rate-coupled
+//!   through the storage write path of `odx-storage`, with the firmware-bug
+//!   failure mode §5.2 attributes 4 % of failures to.
+//! * [`SmartApBenchmark`] — sequential replay of the 1000-request sampled
+//!   workload across three simulated 20 Mbps ADSL lines, reproducing
+//!   Figs 13–14 and the §5.2 failure taxonomy.
+//! * [`concurrent`] — an extension: the same replay with aria2-style
+//!   concurrent download slots sharing the line under max–min fairness.
+//! * [`lan`] — the fetch phase: WiFi/wired LAN rates high enough that
+//!   fetching from an AP "is seldom an issue".
+//! * [`table2`] — the (device × filesystem) sweep behind Table 2.
+
+mod bench;
+pub mod concurrent;
+mod engine;
+pub mod lan;
+mod models;
+pub mod table2;
+
+pub use bench::{ApBenchReport, ApTaskRecord, SmartApBenchmark};
+pub use engine::{ApEngine, ApEngineConfig, ApOutcome};
+pub use models::{ApModel, StorageSetup};

@@ -1,0 +1,117 @@
+//! Zipf distribution over ranks `1..=n`.
+
+use super::{u01, Dist};
+use rand::Rng;
+
+/// Zipf over `{1, …, n}` with exponent `s`: P(rank = k) ∝ k^-s.
+///
+/// Sampling precomputes the normalized cumulative mass (O(n) memory, O(log n)
+/// per draw) — acceptable for the catalog sizes in this study (≤ 10⁶ files)
+/// and exact, unlike rejection methods.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Zipf(n, s); requires `n >= 1`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "support must be non-empty");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative, s }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cumulative.len(), "rank out of support");
+        let prev = if k == 1 { 0.0 } else { self.cumulative[k - 2] };
+        self.cumulative[k - 1] - prev
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut dyn Rng) -> usize {
+        let u = u01(rng);
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        idx.min(self.cumulative.len() - 1) + 1
+    }
+
+    /// The ideal (noise-free) rank-frequency counts for `total` draws:
+    /// `count(k) = total × pmf(k)`. Useful as ground truth in fitting tests.
+    pub fn expected_counts(&self, total: f64) -> Vec<f64> {
+        (1..=self.n()).map(|k| total * self.pmf(k)).collect()
+    }
+}
+
+impl Dist for Zipf {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 1.034);
+        let sum: f64 = (1..=1000).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_power_law() {
+        let z = Zipf::new(100, 2.0);
+        assert!((z.pmf(1) / z.pmf(2) - 4.0).abs() < 1e-9);
+        assert!((z.pmf(1) / z.pmf(10) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_tracks_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts = vec![0u64; 51];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        for k in [1usize, 2, 5, 10, 50] {
+            let emp = counts[k] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(z.sample_rank(&mut rng), 1);
+        assert!((z.pmf(1) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the statistics toolkit.
+
+use odx_stats::dist::{BoundedPareto, Dist, LogNormal, LogUniform, Zipf};
+use odx_stats::fit::{fit_se, fit_zipf, linear_fit, rank_frequency};
+use odx_stats::ks::{ks_distance, ks_critical};
+use odx_stats::{BinnedSeries, Ecdf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// ECDF invariants: F is monotone, F(min)=1/n at the smallest sample,
+    /// F(max)=1, quantiles invert fractions.
+    #[test]
+    fn ecdf_invariants(xs in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let ecdf = Ecdf::new(xs.clone());
+        let min = ecdf.min().unwrap();
+        let max = ecdf.max().unwrap();
+        prop_assert!(ecdf.fraction_at_most(max) == 1.0);
+        prop_assert!(ecdf.fraction_below(min) == 0.0);
+        // Monotonicity over a probe grid.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = min + (max - min) * i as f64 / 20.0;
+            let f = ecdf.fraction_at_most(x);
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        // Quantiles stay inside the sample range and are monotone in q.
+        let mut prev_q = min;
+        for i in 0..=10 {
+            let q = ecdf.quantile(i as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev_q - 1e-9);
+            prop_assert!((min..=max).contains(&q));
+            prev_q = q;
+        }
+    }
+
+    /// Summary statistics are internally consistent.
+    #[test]
+    fn summary_consistency(xs in prop::collection::vec(0.0f64..1e6, 2..200)) {
+        let s = Ecdf::new(xs).summary().unwrap();
+        prop_assert!(s.min <= s.p25 && s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75 && s.p75 <= s.p90 && s.p90 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    /// Linear fit residual orthogonality: slope of residuals is ~0.
+    #[test]
+    fn linear_fit_is_least_squares(
+        slope in -100.0f64..100.0,
+        intercept in -1e4f64..1e4,
+        noise in prop::collection::vec(-1.0f64..1.0, 10..60),
+    ) {
+        let xs: Vec<f64> = (0..noise.len()).map(|i| i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().zip(&noise).map(|(x, n)| slope * x + intercept + n).collect();
+        let fit = linear_fit(&xs, &ys);
+        prop_assert!((fit.slope - slope).abs() < 1.0, "slope {} vs {}", fit.slope, slope);
+        // Residuals vs x have ~zero slope (normal equations).
+        let res: Vec<f64> =
+            xs.iter().zip(&ys).map(|(x, y)| y - (fit.slope * x + fit.intercept)).collect();
+        let res_fit = linear_fit(&xs, &res);
+        prop_assert!(res_fit.slope.abs() < 1e-6, "{}", res_fit.slope);
+    }
+
+    /// Fitting recovers a pure Zipf exponent from ideal counts.
+    #[test]
+    fn zipf_fit_recovers_exponent(s in 0.5f64..1.6, n in 200usize..2000) {
+        let z = Zipf::new(n, s);
+        let ranked = z.expected_counts(1e7);
+        let fit = fit_zipf(&ranked);
+        prop_assert!((fit.a - s).abs() < 0.05, "fit {} vs true {}", fit.a, s);
+        prop_assert!(fit.avg_rel_error < 0.10, "{}", fit.avg_rel_error);
+    }
+
+    /// SE fit never blows up, and predictions are positive and finite.
+    #[test]
+    fn se_fit_is_stable(counts in prop::collection::vec(1u64..100_000, 10..500)) {
+        let ranked = rank_frequency(&counts);
+        prop_assume!(ranked.len() >= 2);
+        let fit = fit_se(&ranked, 0.01);
+        prop_assert!(fit.avg_rel_error.is_finite());
+        for x in [1.0, 2.0, ranked.len() as f64] {
+            let y = fit.predict(x);
+            prop_assert!(y.is_finite() && y >= 0.0, "predict({x}) = {y}");
+        }
+    }
+
+    /// Bounded distributions stay in bounds for arbitrary parameters.
+    #[test]
+    fn bounded_samplers_respect_support(
+        seed in any::<u64>(),
+        lo in 1.0f64..100.0,
+        span in 1.0f64..10_000.0,
+        alpha in 0.1f64..4.0,
+    ) {
+        let hi = lo + span;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pareto = BoundedPareto::new(alpha, lo, hi);
+        let loguni = LogUniform::new(lo, hi);
+        for _ in 0..200 {
+            let p = pareto.sample(&mut rng);
+            prop_assert!((lo..=hi * (1.0 + 1e-12)).contains(&p), "{p}");
+            let l = loguni.sample(&mut rng);
+            prop_assert!((lo..hi * (1.0 + 1e-12)).contains(&l), "{l}");
+        }
+    }
+
+    /// KS distance is a pseudometric: symmetric, zero on identity, ≤ 1.
+    #[test]
+    fn ks_pseudmetric(
+        xs in prop::collection::vec(0.0f64..1e3, 1..100),
+        ys in prop::collection::vec(0.0f64..1e3, 1..100),
+    ) {
+        let a = Ecdf::new(xs);
+        let b = Ecdf::new(ys);
+        let d_ab = ks_distance(&a, &b);
+        let d_ba = ks_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    /// Binned series conserve mass: total amount in = total amount stored
+    /// (for intervals inside the horizon).
+    #[test]
+    fn binned_series_conserves_mass(
+        intervals in prop::collection::vec((0.0f64..900.0, 0.1f64..100.0, 0.1f64..50.0), 1..50),
+    ) {
+        let mut series = BinnedSeries::new(1000.0, 10.0);
+        let mut expected = 0.0;
+        for (start, len, rate) in intervals {
+            let end = (start + len).min(1000.0);
+            series.add_rate_interval(start, end, rate);
+            expected += rate * (end - start);
+        }
+        prop_assert!((series.total_amount() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+}
+
+#[test]
+fn lognormal_ks_against_itself_is_small() {
+    // Sanity anchor for the KS helper at a known scale.
+    let d = LogNormal::from_median(287.0, 0.9);
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = Ecdf::new(d.sample_n(&mut rng, 3000));
+    let b = Ecdf::new(d.sample_n(&mut rng, 3000));
+    assert!(ks_distance(&a, &b) < ks_critical(3000, 3000, 0.01));
+}

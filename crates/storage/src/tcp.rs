@@ -1,0 +1,68 @@
+//! TCP receive-window coupling between storage and network.
+//!
+//! §5.2: during storage-limited pre-downloads "the receiver-side TCP sliding
+//! window (the typical size is 14608 bytes) is almost full in most of the
+//! time" — the slow write path back-pressures the sender through the
+//! advertised window. This module quantifies that: how often the window is
+//! full, and what the sender-visible throughput becomes.
+
+use crate::write_model::TCP_WINDOW_BYTES;
+
+/// Steady-state throughput (KBps) when the network offers `offered_kbps` but
+/// storage drains at `drain_kbps`: the slower side wins.
+pub fn coupled_rate_kbps(offered_kbps: f64, drain_kbps: f64) -> f64 {
+    offered_kbps.min(drain_kbps).max(0.0)
+}
+
+/// Fraction of time the receive window sits full: zero while storage keeps
+/// up, approaching one as the drain rate falls below the offer.
+pub fn window_full_fraction(offered_kbps: f64, drain_kbps: f64) -> f64 {
+    if offered_kbps <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - drain_kbps / offered_kbps).clamp(0.0, 1.0)
+}
+
+/// Time (seconds) for the sender to fill the advertised window when the
+/// receiver stops draining — the stall granularity of the transfer.
+pub fn window_fill_secs(offered_kbps: f64) -> f64 {
+    if offered_kbps <= 0.0 {
+        f64::INFINITY
+    } else {
+        TCP_WINDOW_BYTES / 1000.0 / offered_kbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_storage_never_stalls() {
+        assert_eq!(coupled_rate_kbps(2370.0, 4500.0), 2370.0);
+        assert_eq!(window_full_fraction(2370.0, 4500.0), 0.0);
+    }
+
+    #[test]
+    fn slow_storage_caps_rate_and_fills_window() {
+        // Newifi + USB flash + NTFS: 2.37 MBps offered, 0.93 MBps drained.
+        let rate = coupled_rate_kbps(2370.0, 930.0);
+        assert_eq!(rate, 930.0);
+        let full = window_full_fraction(2370.0, 930.0);
+        assert!(full > 0.6, "window mostly full: {full}");
+    }
+
+    #[test]
+    fn window_fill_time_is_milliseconds_at_adsl_rates() {
+        let secs = window_fill_secs(2370.0);
+        assert!((secs - 14.608 / 2370.0).abs() < 1e-9);
+        assert!(secs < 0.01, "fills in ~6 ms at full ADSL rate");
+        assert!(window_fill_secs(0.0).is_infinite());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(coupled_rate_kbps(-5.0, 10.0), 0.0);
+        assert_eq!(window_full_fraction(0.0, 10.0), 0.0);
+    }
+}

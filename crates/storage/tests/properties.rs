@@ -1,0 +1,85 @@
+//! Property-based tests for the storage write models.
+
+use odx_storage::{effective_rate_kbps, write_profile, DeviceKind, FsKind};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceKind> {
+    (0usize..4).prop_map(|i| DeviceKind::ALL[i])
+}
+
+fn arb_fs() -> impl Strategy<Value = FsKind> {
+    (0usize..3).prop_map(|i| FsKind::ALL[i])
+}
+
+proptest! {
+    /// The effective rate never exceeds the offer, is non-negative, and is
+    /// monotone non-decreasing in the offered rate.
+    #[test]
+    fn effective_rate_is_sane(
+        device in arb_device(),
+        fs in arb_fs(),
+        cpu in 300.0f64..2000.0,
+        offered_lo in 1.0f64..5000.0,
+        bump in 0.0f64..5000.0,
+    ) {
+        let lo = effective_rate_kbps(device, fs, cpu, offered_lo);
+        let hi = effective_rate_kbps(device, fs, cpu, offered_lo + bump);
+        prop_assert!(lo >= 0.0 && lo <= offered_lo + 1e-9, "{lo} vs {offered_lo}");
+        prop_assert!(hi + 1e-9 >= lo, "monotonicity: {lo} → {hi}");
+    }
+
+    /// iowait is a ratio in [0, 1] and monotone in the achieved rate.
+    #[test]
+    fn iowait_is_a_monotone_ratio(
+        device in arb_device(),
+        fs in arb_fs(),
+        cpu in 300.0f64..2000.0,
+        r1 in 0.0f64..5.0,
+        dr in 0.0f64..5.0,
+    ) {
+        let p = write_profile(device, fs, cpu);
+        let a = p.iowait_at(r1);
+        let b = p.iowait_at(r1 + dr);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b + 1e-12 >= a);
+    }
+
+    /// NTFS (the FUSE path) never out-runs the kernel filesystems on the
+    /// same device — Table 2's defining pattern.
+    #[test]
+    fn ntfs_never_beats_kernel_paths(device in arb_device(), cpu in 300.0f64..2000.0) {
+        let offered = 10_000.0;
+        let ntfs = effective_rate_kbps(device, FsKind::Ntfs, cpu, offered);
+        for fs in [FsKind::Fat, FsKind::Ext4] {
+            let kernel = effective_rate_kbps(device, fs, cpu, offered);
+            prop_assert!(ntfs <= kernel + 1e-9, "{device}: ntfs {ntfs} vs {fs} {kernel}");
+        }
+    }
+
+    /// A faster CPU never hurts, and only matters for the FUSE path.
+    #[test]
+    fn cpu_scaling(device in arb_device(), fs in arb_fs(), cpu in 300.0f64..1500.0) {
+        let offered = 10_000.0;
+        let slow = effective_rate_kbps(device, fs, cpu, offered);
+        let fast = effective_rate_kbps(device, fs, cpu * 2.0, offered);
+        prop_assert!(fast + 1e-9 >= slow);
+        if !fs.is_user_space() {
+            prop_assert!((fast - slow).abs() < 1e-9, "kernel paths ignore the CPU");
+        } else {
+            prop_assert!(fast > slow, "FUSE scales with the CPU");
+        }
+    }
+
+    /// Below every sustained limit, the network rate passes through
+    /// unchanged (storage is invisible for slow sources — why Bottleneck 4
+    /// only bites on fast downloads).
+    #[test]
+    fn slow_offers_pass_through(
+        device in arb_device(),
+        fs in arb_fs(),
+        offered in 1.0f64..500.0,
+    ) {
+        let rate = effective_rate_kbps(device, fs, 580.0, offered);
+        prop_assert!((rate - offered).abs() < 1e-9, "{rate} vs {offered}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for workload generation.
+
+use odx_stats::dist::u01;
+use odx_trace::{
+    Catalog, CatalogConfig, PopularityClass, Population, PopulationConfig, Workload,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Catalog invariants hold for any seed and any (small) size.
+    #[test]
+    fn catalog_invariants(seed in any::<u64>(), files in 500usize..4000) {
+        let cfg = CatalogConfig { files, ..CatalogConfig::scaled(0.01) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = Catalog::generate(&cfg, &mut rng);
+        prop_assert_eq!(catalog.len(), files);
+
+        let mut total = 0u64;
+        for f in catalog.files() {
+            prop_assert!(f.size_mb >= cfg.min_mb && f.size_mb <= cfg.max_mb, "{}", f.size_mb);
+            prop_assert!(f.weekly_requests >= 1);
+            prop_assert!(f64::from(f.weekly_requests) <= cfg.max_weekly_requests + 0.5);
+            total += u64::from(f.weekly_requests);
+            // Class boundaries are respected by construction.
+            match f.class() {
+                PopularityClass::Unpopular => prop_assert!(f.weekly_requests < 7),
+                PopularityClass::Popular => {
+                    prop_assert!((7..=84).contains(&f.weekly_requests))
+                }
+                PopularityClass::HighlyPopular => prop_assert!(f.weekly_requests > 84),
+            }
+        }
+        prop_assert_eq!(total, catalog.total_requests());
+
+        // Class file-shares are exact by construction (±1 file rounding).
+        let (hot_share, _) = catalog.class_shares(PopularityClass::HighlyPopular);
+        prop_assert!((hot_share - 0.0084).abs() < 2.0 / files as f64, "{hot_share}");
+    }
+
+    /// Workload expansion is an exact inverse of the catalog's counts, for
+    /// any temporal profile.
+    #[test]
+    fn workload_matches_counts(
+        seed in any::<u64>(),
+        amplitude in 0.0f64..0.95,
+        peak_hour in 0.0f64..24.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = Catalog::generate(
+            &CatalogConfig { files: 800, ..CatalogConfig::scaled(0.01) },
+            &mut rng,
+        );
+        let population = Population::generate(&PopulationConfig::scaled(0.002), &mut rng);
+        let cfg = WorkloadConfig {
+            diurnal_amplitude: amplitude,
+            diurnal_peak_hour: peak_hour,
+            ..WorkloadConfig::default()
+        };
+        let workload = Workload::generate(&catalog, &population, &cfg, &mut rng);
+        prop_assert_eq!(workload.len() as u64, catalog.total_requests());
+
+        // Per-file counts survive the expansion exactly.
+        let mut counts = vec![0u32; catalog.len()];
+        for r in workload.requests() {
+            counts[r.file as usize] += 1;
+        }
+        for (i, f) in catalog.files().iter().enumerate() {
+            prop_assert_eq!(counts[i], f.weekly_requests);
+        }
+
+        // Sorted arrival times inside the week.
+        let mut prev = odx_sim::SimTime::ZERO;
+        for r in workload.requests() {
+            prop_assert!(r.at >= prev);
+            prop_assert!(r.at.as_millis() < odx_trace::WEEK.as_millis());
+            prev = r.at;
+        }
+    }
+
+    /// The ISP mix sampler covers the support and never panics.
+    #[test]
+    fn isp_mix_total_coverage(seed in any::<u64>()) {
+        let mix = odx_net::IspMix::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut saw_major = false;
+        let mut saw_other = false;
+        for _ in 0..2000 {
+            let isp = mix.sample(&mut rng);
+            if isp.is_major() {
+                saw_major = true;
+            } else {
+                saw_other = true;
+            }
+            // u01 keeps working on the same stream.
+            let _ = u01(&mut rng);
+        }
+        prop_assert!(saw_major);
+        prop_assert!(saw_other);
+    }
+}

@@ -1,0 +1,84 @@
+//! A household scenario: one smart AP, several devices, the whole §2.2
+//! workflow — pre-download overnight, fetch over the LAN at breakfast.
+//!
+//! ```sh
+//! cargo run --release -p odx --example household
+//! ```
+
+use odx::odr::{ApContext, OdrEngine, OdrRequest};
+use odx::sim::RngFactory;
+use odx::smartap::{lan, ApEngine, ApModel};
+use odx::trace::{FileId, FileMeta, FileType, PopularityClass, Protocol};
+
+fn main() {
+    let rngs = RngFactory::new(11);
+    let ap = ApModel::MiWiFi;
+    let engine = ApEngine::for_bench(ap);
+    println!("household setup: {ap} (${:.0}), storage {}", ap.price_usd(), {
+        let s = ap.bench_storage();
+        format!("{} ({})", s.device, s.fs)
+    });
+
+    // The evening queue: three files the family wants by morning.
+    let queue = [
+        ("4K holiday movie", 2800.0, Protocol::BitTorrent, 150),
+        ("obscure documentary", 700.0, Protocol::EMule, 2),
+        ("game patch", 180.0, Protocol::Http, 5000),
+    ];
+    // The home line: a typical 4 Mbps connection (500 KBps).
+    let access_kbps = 500.0;
+
+    println!("\novernight pre-downloads on a {access_kbps:.0} KBps line:");
+    let mut rng = rngs.stream("household");
+    let odr = OdrEngine::default();
+    for (i, (label, size_mb, protocol, weekly)) in queue.iter().enumerate() {
+        let file = FileMeta {
+            id: FileId(i as u128),
+            size_mb: *size_mb,
+            ftype: FileType::Video,
+            protocol: *protocol,
+            weekly_requests: *weekly,
+        };
+        // What would ODR say?
+        let verdict = odr.decide(&OdrRequest {
+            popularity: PopularityClass::of(*weekly),
+            protocol: *protocol,
+            cached_in_cloud: PopularityClass::of(*weekly) != PopularityClass::Unpopular,
+            isp: odx::net::Isp::Telecom,
+            access_kbps,
+            ap: Some(ApContext::bench(ap)),
+        });
+        let out = engine.pre_download(&file, access_kbps, &mut rng);
+        println!(
+            "  {label:<22} {size_mb:>6.0} MB  ODR says {:<18} AP result: {}",
+            verdict.decision.to_string(),
+            if out.success {
+                format!(
+                    "done in {} at {:.0} KBps (iowait {:.0}%)",
+                    out.duration,
+                    out.rate_kbps,
+                    100.0 * out.iowait
+                )
+            } else {
+                format!("FAILED ({})", out.cause.map(|c| c.to_string()).unwrap_or_default())
+            }
+        );
+    }
+
+    // Morning: three devices fetch from the AP at once.
+    println!("\nmorning fetch: 3 devices sharing the AP's WiFi + disk:");
+    let mut rng = rngs.stream("household-lan");
+    let rates = lan::concurrent_fetch_rates(ap, 3, &mut rng);
+    for (i, rate) in rates.iter().enumerate() {
+        println!(
+            "  device {}: {:.1} MBps ({}x faster than the paper's best cloud fetch)",
+            i + 1,
+            rate / 1000.0,
+            (rate / 6100.0).round()
+        );
+    }
+    println!(
+        "\neven split three ways, LAN fetching dwarfs the WAN — exactly why \
+         §5.2 treats the fetch phase as a non-issue for smart APs."
+    );
+}

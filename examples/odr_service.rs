@@ -1,0 +1,68 @@
+//! Run the ODR web service (the deployable middleware of §6.1) and exercise
+//! it with real HTTP requests.
+//!
+//! ```sh
+//! cargo run --release -p odx --example odr_service
+//! ```
+
+use odx::odr::OdrEngine;
+use odx::proto::{client, Json, OdrService};
+use odx::trace::PopularityClass;
+use odx::Study;
+
+fn main() {
+    // Build a content directory from a generated catalog (standing in for
+    // the Xuanfeng content database ODR queries).
+    let study = Study::generate(0.002, 99);
+    let service = OdrService::new(OdrEngine::default());
+    service.load_catalog(&study.catalog, |i| {
+        // Popular content is in the pool; the cold tail is not.
+        study.catalog.file(i).class() != PopularityClass::Unpopular
+    });
+    println!("content directory loaded: {} files", service.directory_len());
+
+    let server = service.serve("127.0.0.1:0", 4).expect("bind");
+    let addr = server.addr();
+    println!("ODR service listening on http://{addr} (cf. odr.thucloud.com)\n");
+
+    // Liveness.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    println!("GET /healthz           → {} {}", health.status, text(&health.body));
+
+    // A popularity lookup for a real catalog file.
+    let hot = study
+        .catalog
+        .files()
+        .iter()
+        .max_by_key(|f| f.weekly_requests)
+        .expect("non-empty catalog");
+    let pop = client::get(addr, &format!("/popularity/{}", hot.id)).expect("popularity");
+    println!("GET /popularity/<hot>  → {} {}", pop.status, text(&pop.body));
+
+    // Decisions for three user profiles requesting the hottest file.
+    let profiles = [
+        ("fiber user, NTFS-flash Newifi", 2500.0, r#"{"model":"newifi","device":"usb-flash","fs":"ntfs"}"#),
+        ("DSL user, MiWiFi", 400.0, r#"{"model":"miwifi","device":"sata-hdd","fs":"ext4"}"#),
+        ("rural user on a small ISP", 90.0, r#"{"model":"hiwifi","device":"sd","fs":"fat"}"#),
+    ];
+    for (label, access, ap) in profiles {
+        let isp = if access < 100.0 { "other" } else { "unicom" };
+        let body = format!(
+            r#"{{"link": "{}", "isp": "{isp}", "access_kbps": {access}, "ap": {ap}}}"#,
+            hot.source_link()
+        );
+        let resp = client::post_json(addr, "/decide", &body).expect("decide");
+        let v = Json::parse(&text(&resp.body)).expect("json body");
+        println!(
+            "POST /decide ({label:<32}) → {}",
+            v.get("decision").and_then(Json::as_str).unwrap_or("?")
+        );
+    }
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}
+
+fn text(b: &[u8]) -> String {
+    String::from_utf8_lossy(b).into_owned()
+}

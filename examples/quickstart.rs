@@ -1,0 +1,70 @@
+//! Quickstart: generate a small measurement week, ask ODR where a few
+//! requests should go, and print the reasoning.
+//!
+//! ```sh
+//! cargo run --release -p odx --example quickstart
+//! ```
+
+use odx::odr::{ApContext, OdrEngine, OdrRequest};
+use odx::smartap::ApModel;
+use odx::trace::PopularityClass;
+use odx::Study;
+
+fn main() {
+    // A 1 %-scale week (≈ 40k requests), deterministic in the seed.
+    let study = Study::generate(0.01, 7);
+    println!(
+        "generated {} files, {} users, {} requests across one week",
+        study.catalog.len(),
+        study.population.len(),
+        study.workload.len()
+    );
+
+    // The content statistics the paper's §3 reports.
+    let sizes = odx::stats::Ecdf::new(study.catalog.sizes_mb());
+    let s = sizes.summary().expect("non-empty catalog");
+    println!(
+        "file sizes: median {:.0} MB, mean {:.0} MB, {:.0}% below 8 MB",
+        s.median,
+        s.mean,
+        100.0 * sizes.fraction_below(8.0)
+    );
+
+    // Route a handful of requests through the ODR decision engine.
+    let engine = OdrEngine::default();
+    println!("\nODR decisions for five sampled requests:");
+    for (i, sampled) in study.eval_sample(5).iter().enumerate() {
+        let req = OdrRequest {
+            popularity: sampled.class(),
+            protocol: sampled.protocol,
+            // Popular content is almost always already in the cloud pool.
+            cached_in_cloud: sampled.class() != PopularityClass::Unpopular,
+            isp: sampled.isp,
+            access_kbps: sampled.access_kbps,
+            ap: Some(ApContext::bench(ApModel::ALL[i % 3])),
+        };
+        let verdict = engine.decide(&req);
+        println!(
+            "  [{}] {:>14} file via {:<10} user {:>6.0} KBps on {:<7} → {} {}",
+            i + 1,
+            req.popularity.to_string(),
+            sampled.protocol.to_string(),
+            req.access_kbps,
+            req.isp.to_string(),
+            verdict.decision,
+            if verdict.addresses.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "(addresses {})",
+                    verdict
+                        .addresses
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end over the wire: a generated catalog behind the ODR web service,
+//! decisions queried via real HTTP, and the decision distribution matching
+//! the engine run in-process.
+
+use odx::odr::{ApContext, OdrEngine, OdrRequest};
+use odx::proto::{client, Json, OdrService};
+use odx::smartap::ApModel;
+use odx::trace::PopularityClass;
+use odx::Study;
+
+#[test]
+fn wire_decisions_match_in_process_decisions() {
+    let study = Study::generate(0.002, 888);
+    let service = OdrService::new(OdrEngine::default());
+    // Deterministic cached-set: everything except the unpopular tail.
+    let cached = |i: u32| study.catalog.file(i).class() != PopularityClass::Unpopular;
+    service.load_catalog(&study.catalog, cached);
+    let server = service.serve("127.0.0.1:0", 4).expect("bind");
+    let addr = server.addr();
+
+    let engine = OdrEngine::default();
+    let sample = study.eval_sample(60);
+    for (i, req) in sample.iter().enumerate() {
+        let ap = ApContext::bench(ApModel::ALL[i % 3]);
+        let file = study.catalog.file(req.file_index);
+
+        // In-process decision.
+        let local = engine
+            .decide(&OdrRequest {
+                popularity: file.class(),
+                protocol: req.protocol,
+                cached_in_cloud: cached(req.file_index),
+                isp: req.isp,
+                access_kbps: req.access_kbps,
+                ap: Some(ap),
+            })
+            .decision;
+
+        // Over-the-wire decision.
+        let body = odx::proto::api::DecideRequest {
+            link: file.source_link(),
+            isp: req.isp,
+            access_kbps: req.access_kbps,
+            ap: Some(ap),
+        }
+        .to_json()
+        .to_string_compact();
+        let resp = client::post_json(addr, "/decide", &body).expect("decide");
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let wire = v.get("decision").and_then(Json::as_str).unwrap().to_owned();
+
+        assert_eq!(wire, local.to_string(), "request {i} diverged");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn popularity_endpoint_agrees_with_catalog() {
+    let study = Study::generate(0.002, 889);
+    let service = OdrService::new(OdrEngine::default());
+    service.load_catalog(&study.catalog, |_| false);
+    let server = service.serve("127.0.0.1:0", 2).expect("bind");
+
+    for file in study.catalog.files().iter().step_by(97).take(20) {
+        let resp =
+            client::get(server.addr(), &format!("/popularity/{}", file.id)).expect("lookup");
+        assert_eq!(resp.status, 200);
+        let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("class").and_then(Json::as_str),
+            Some(file.class().to_string().as_str())
+        );
+    }
+    server.shutdown();
+}
