@@ -16,7 +16,9 @@
 //! `--scale` (default 0.1) sets the workload scale (1.0 = the paper's full
 //! 4.08 M-task week); `--seed` the master seed; `--sample` the §5.1/§6.2
 //! sample size (default 1000, the paper's); `--out DIR` additionally dumps
-//! each figure's plotted series as TSV.
+//! each figure's plotted series as TSV; `--metrics FILE` writes the final
+//! telemetry-registry snapshot as JSON (byte-identical across same-seed
+//! runs of the same commands).
 
 use std::collections::BTreeSet;
 use std::io::Write;
@@ -38,6 +40,7 @@ struct Options {
     seed: u64,
     sample: usize,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -46,6 +49,7 @@ fn parse_args() -> Options {
     let mut seed = 2015;
     let mut sample = 1000;
     let mut out = None;
+    let mut metrics = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,6 +57,7 @@ fn parse_args() -> Options {
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
             "--sample" => sample = args.next().expect("--sample value").parse().expect("sample"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
+            "--metrics" => metrics = Some(PathBuf::from(args.next().expect("--metrics file"))),
             cmd => {
                 commands.insert(cmd.to_owned());
             }
@@ -61,7 +66,7 @@ fn parse_args() -> Options {
     if commands.is_empty() {
         commands.insert("all".to_owned());
     }
-    Options { commands, scale, seed, sample, out }
+    Options { commands, scale, seed, sample, out, metrics }
 }
 
 fn main() {
@@ -87,11 +92,10 @@ fn main() {
         fig6_fig7(&study, &opts);
     }
 
-    let needs_cloud = ["fig8", "fig9", "fig10", "fig11", "headline", "fig16"]
-        .iter()
-        .any(|c| want(c))
-        || want("ablate-cache")
-        || want("ablate-privileged");
+    let needs_cloud =
+        ["fig8", "fig9", "fig10", "fig11", "headline", "fig16"].iter().any(|c| want(c))
+            || want("ablate-cache")
+            || want("ablate-privileged");
     let cloud = needs_cloud.then(|| study.replay_cloud());
 
     if let Some(report) = &cloud {
@@ -132,13 +136,16 @@ fn main() {
     if want("fig15") {
         fig15();
     }
-    if want("fig16") || want("fig17") {
+    if want("fig16") || want("fig17") || want("headline") {
         let eval = study.replay_odr(opts.sample);
         if want("fig16") {
             fig16(cloud.as_ref(), &eval, opts.scale);
         }
         if want("fig17") {
             fig17(&eval, &opts);
+        }
+        if want("headline") {
+            odr_headline(&eval);
         }
     }
     if want("ablate-cache") {
@@ -167,6 +174,12 @@ fn main() {
     }
     if opts.commands.contains("export-traces") {
         export_traces(&study, &opts);
+    }
+
+    if let Some(path) = &opts.metrics {
+        let json = odx_telemetry::global().snapshot().to_json();
+        std::fs::write(path, &json).expect("write --metrics file");
+        println!("\n[metrics snapshot → {}]", path.display());
     }
 }
 
@@ -212,7 +225,10 @@ fn fig5(study: &Study, opts: &Options) {
     section("Fig 5 — CDF of requested file size (MB)");
     let ecdf = Ecdf::new(study.catalog.sizes_mb());
     let s = ecdf.summary().unwrap();
-    println!("{}", row("median", "115 MB", format!("{:.0} MB ({})", s.median, rel(s.median, 115.0))));
+    println!(
+        "{}",
+        row("median", "115 MB", format!("{:.0} MB ({})", s.median, rel(s.median, 115.0)))
+    );
     println!("{}", row("average", "390 MB", format!("{:.0} MB ({})", s.mean, rel(s.mean, 390.0))));
     println!("{}", row("max", "4 GB", format!("{:.0} MB", s.max)));
     println!(
@@ -304,7 +320,11 @@ fn fig10(report: &WeekReport) {
     let last = report.failure_by_popularity.last().map(|p| p.1).unwrap_or(0.0);
     println!(
         "{}",
-        row("failure falls with popularity", "yes", if first > last { "yes".into() } else { "NO".into() })
+        row(
+            "failure falls with popularity",
+            "yes",
+            if first > last { "yes".into() } else { "NO".into() }
+        )
     );
 }
 
@@ -320,10 +340,7 @@ fn fig11(report: &WeekReport, opts: &Options) {
             format!("{:.2} Gbps vs {:.2} Gbps cap", report.peak_burden_gbps(), cap_gbps)
         )
     );
-    println!(
-        "{}",
-        row("peak lands on day", "7", format!("{}", peak_bin * 300 / 86_400 + 1))
-    );
+    println!("{}", row("peak lands on day", "7", format!("{}", peak_bin * 300 / 86_400 + 1)));
     println!(
         "{}",
         row(
@@ -359,7 +376,11 @@ fn headline(report: &WeekReport) {
     println!("{}", row("cache hit ratio", "89%", format!("{:.1}%", 100.0 * report.hit_ratio())));
     println!(
         "{}",
-        row("pre-download failure ratio", "8.7%", format!("{:.1}%", 100.0 * report.failure_ratio()))
+        row(
+            "pre-download failure ratio",
+            "8.7%",
+            format!("{:.1}%", 100.0 * report.failure_ratio())
+        )
     );
     println!(
         "{}",
@@ -371,7 +392,11 @@ fn headline(report: &WeekReport) {
     );
     println!(
         "{}",
-        row("impeded fetches (< 125 KBps)", "28%", format!("{:.1}%", 100.0 * report.impeded_ratio()))
+        row(
+            "impeded fetches (< 125 KBps)",
+            "28%",
+            format!("{:.1}%", 100.0 * report.impeded_ratio())
+        )
     );
     let fetches = report.fetches.len() as f64;
     println!(
@@ -412,11 +437,7 @@ fn fig13(report: &odx::smartap::ApBenchReport, opts: &Options) {
         let paper = if ap == ApModel::Newifi { "930" } else { "2370" };
         println!(
             "{}",
-            row(
-                &format!("max on {ap}"),
-                paper,
-                format!("{:.0}", report.max_speed_kbps(ap))
-            )
+            row(&format!("max on {ap}"), paper, format!("{:.0}", report.max_speed_kbps(ap)))
         );
     }
     dump_cdf(opts, "fig13_ap_speed_cdf.tsv", &ecdf);
@@ -454,6 +475,35 @@ fn ap_headline(report: &odx::smartap::ApBenchReport) {
     );
 }
 
+fn odr_headline(eval: &OdrEvalReport) {
+    use odx::odr::Decision;
+    section("§6.2 headline statistics (ODR)");
+    println!("{}", row("impeded fetches", "9%", format!("{:.1}%", 100.0 * eval.impeded_ratio())));
+    println!(
+        "{}",
+        row(
+            "cloud upload bytes vs all-cloud",
+            "-35%",
+            format!("{:+.0}%", 100.0 * (eval.cloud_upload_fraction() - 1.0))
+        )
+    );
+    println!(
+        "{}",
+        row("incorrect redirections", "<1%", format!("{:.2}%", 100.0 * eval.incorrect_ratio()))
+    );
+    let counts = eval.decision_counts();
+    println!("  decisions per proxy:");
+    for d in [
+        Decision::UserDevice,
+        Decision::Cloud,
+        Decision::SmartAp,
+        Decision::CloudThenSmartAp,
+        Decision::CloudPredownload,
+    ] {
+        println!("    {:<18} {:>6}", d.to_string(), counts.get(&d).copied().unwrap_or(0));
+    }
+}
+
 fn print_table2() {
     section("Table 2 — max pre-download speed (MBps) and iowait per (device, fs)");
     let paper: &[(DeviceKind, FsKind, f64, f64)] = &[
@@ -487,11 +537,7 @@ fn print_table2() {
     let best = table2::best_newifi_setup();
     println!(
         "{}",
-        row(
-            "best Newifi setup",
-            "USB HDD + EXT4",
-            format!("{} + {}", best.device, best.fs)
-        )
+        row("best Newifi setup", "USB HDD + EXT4", format!("{} + {}", best.device, best.fs))
     );
 }
 
@@ -505,7 +551,13 @@ fn fig15() {
         "popularity", "protocol", "cached", "isp", "access"
     );
     let grid = [
-        (PopularityClass::HighlyPopular, Protocol::BitTorrent, true, odx::net::Isp::Telecom, 2500.0),
+        (
+            PopularityClass::HighlyPopular,
+            Protocol::BitTorrent,
+            true,
+            odx::net::Isp::Telecom,
+            2500.0,
+        ),
         (PopularityClass::HighlyPopular, Protocol::BitTorrent, true, odx::net::Isp::Telecom, 400.0),
         (PopularityClass::HighlyPopular, Protocol::Http, true, odx::net::Isp::Telecom, 400.0),
         (PopularityClass::HighlyPopular, Protocol::Http, false, odx::net::Isp::Telecom, 400.0),
@@ -615,11 +667,7 @@ fn ablate_cache(study: &Study, baseline: &WeekReport) {
     let report = study.replay_cloud_with(cfg);
     println!(
         "{}",
-        row(
-            "failure ratio with pool",
-            "8.7%",
-            format!("{:.1}%", 100.0 * baseline.failure_ratio())
-        )
+        row("failure ratio with pool", "8.7%", format!("{:.1}%", 100.0 * baseline.failure_ratio()))
     );
     println!(
         "{}",
@@ -678,12 +726,9 @@ fn ablate_storage() {
             let rates: Vec<String> = [0.5, 1.0, 2.37, 5.0, 10.0]
                 .iter()
                 .map(|&offered| {
-                    let eff = odx::storage::effective_rate_kbps(
-                        device,
-                        fs,
-                        580.0,
-                        offered * 1000.0,
-                    ) / 1000.0;
+                    let eff =
+                        odx::storage::effective_rate_kbps(device, fs, 580.0, offered * 1000.0)
+                            / 1000.0;
                     format!("{eff:>7.2}")
                 })
                 .collect();
@@ -714,14 +759,13 @@ fn ablate_concurrency(study: &Study, sample_size: usize) {
     section("Extension — sequential vs concurrent AP replay (aria2 job slots)");
     use odx::smartap::concurrent::replay_concurrent;
     let sample = study.benchmark_sample(sample_size.min(300));
-    println!("  ({} tasks on MiWiFi; same pre-drawn sources, only concurrency varies)", sample.len());
+    println!(
+        "  ({} tasks on MiWiFi; same pre-drawn sources, only concurrency varies)",
+        sample.len()
+    );
     for slots in [1usize, 2, 4, 8] {
-        let report = replay_concurrent(
-            ApModel::MiWiFi,
-            &sample,
-            slots,
-            &study.rngs.child("concurrency"),
-        );
+        let report =
+            replay_concurrent(ApModel::MiWiFi, &sample, slots, &study.rngs.child("concurrency"));
         println!(
             "  {slots} slot(s): makespan {:>9}  failure {:>5.1}%",
             format!("{}", report.makespan),
@@ -757,11 +801,9 @@ fn export_traces(study: &Study, opts: &Options) {
             }
         })
         .collect();
-    for (name, write) in [
-        ("workload_trace.tsv", 0usize),
-        ("predownload_trace.tsv", 1),
-        ("fetch_trace.tsv", 2),
-    ] {
+    for (name, write) in
+        [("workload_trace.tsv", 0usize), ("predownload_trace.tsv", 1), ("fetch_trace.tsv", 2)]
+    {
         let path = dir.join(name);
         let mut f = std::fs::File::create(&path).expect("create trace file");
         match write {

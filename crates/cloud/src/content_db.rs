@@ -31,8 +31,7 @@ pub struct ContentDb {
 impl ContentDb {
     /// An empty (cold) database over the catalog's file universe.
     pub fn new(catalog: &Catalog) -> Self {
-        let by_id =
-            catalog.files().iter().enumerate().map(|(i, f)| (f.id, i as u32)).collect();
+        let by_id = catalog.files().iter().enumerate().map(|(i, f)| (f.id, i as u32)).collect();
         ContentDb { states: vec![FileState::default(); catalog.len()], by_id }
     }
 

@@ -28,11 +28,7 @@ pub struct DedupConfig {
 
 impl Default for DedupConfig {
     fn default() -> Self {
-        DedupConfig {
-            chunk_mb: 4.0,
-            sharing_video_fraction: 0.03,
-            shared_chunk_fraction: 0.25,
-        }
+        DedupConfig { chunk_mb: 4.0, sharing_video_fraction: 0.03, shared_chunk_fraction: 0.25 }
     }
 }
 

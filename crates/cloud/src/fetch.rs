@@ -70,10 +70,8 @@ impl FetchModel {
         // Users abandon fetches partway (the trace's "finish/pause time"),
         // and they abandon *slow* fetches far more often — nobody watches a
         // stalled video to the end.
-        let abandon_p =
-            if rate < odx_net::HD_THRESHOLD_KBPS { 0.55 } else { 0.10 };
-        let fetched_fraction =
-            if u01(rng) < abandon_p { 0.15 + 0.70 * u01(rng) } else { 1.0 };
+        let abandon_p = if rate < odx_net::HD_THRESHOLD_KBPS { 0.55 } else { 0.10 };
+        let fetched_fraction = if u01(rng) < abandon_p { 0.15 + 0.70 * u01(rng) } else { 1.0 };
 
         FetchPlan {
             admission,

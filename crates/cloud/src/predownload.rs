@@ -188,13 +188,7 @@ mod tests {
     }
 
     fn file(size_mb: f64, protocol: Protocol, w: u32) -> FileMeta {
-        FileMeta {
-            id: FileId(1),
-            size_mb,
-            ftype: FileType::Video,
-            protocol,
-            weekly_requests: w,
-        }
+        FileMeta { id: FileId(1), size_mb, ftype: FileType::Video, protocol, weekly_requests: w }
     }
 
     #[test]

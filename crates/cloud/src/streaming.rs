@@ -46,11 +46,7 @@ pub fn evaluate(video_mb: f64, fetch_kbps: f64, playback: &PlaybackConfig) -> St
     assert!(video_mb > 0.0, "empty video");
     let startup = playback.startup_buffer_secs * playback.bitrate_kbps / fetch_kbps.max(1e-9);
     if fetch_kbps >= playback.bitrate_kbps {
-        return StreamingOutcome {
-            startup_secs: startup,
-            continuous: true,
-            total_stall_secs: 0.0,
-        };
+        return StreamingOutcome { startup_secs: startup, continuous: true, total_stall_secs: 0.0 };
     }
     let duration_secs = video_mb * 1000.0 / playback.bitrate_kbps;
     let download_secs = video_mb * 1000.0 / fetch_kbps.max(1e-9);

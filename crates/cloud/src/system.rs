@@ -12,12 +12,12 @@ use odx_p2p::{FailureCause, HttpFtpModel, SwarmModel};
 use odx_sim::{Ctx, RngFactory, SimDuration, SimRng, SimTime, Simulation, World};
 use odx_stats::dist::u01;
 use odx_stats::{BinnedSeries, Ecdf};
+use odx_telemetry::{Counter, HistogramHandle, Registry};
 use odx_trace::records::{FetchRecord, PredownloadRecord};
 use odx_trace::{Catalog, PopularityClass, Population, Workload};
 
 use crate::{
-    CloudConfig, ContentDb, FetchModel, LruCache, PredownloadModel, PredownloadOutcome,
-    UploadPool,
+    CloudConfig, ContentDb, FetchModel, LruCache, PredownloadModel, PredownloadOutcome, UploadPool,
 };
 
 /// End-to-end view of one completed offline-downloading task (§4.3): total
@@ -124,13 +124,7 @@ impl WeekReport {
     /// Pre-download speed ECDF over cache misses (failures contribute ~0),
     /// the Fig 8 upper curve.
     pub fn predownload_speed_ecdf(&self) -> Ecdf {
-        Ecdf::new(
-            self.predownloads
-                .iter()
-                .filter(|r| !r.cache_hit)
-                .map(|r| r.avg_kbps)
-                .collect(),
-        )
+        Ecdf::new(self.predownloads.iter().filter(|r| !r.cache_hit).map(|r| r.avg_kbps).collect())
     }
 
     /// Pre-download delay ECDF over cache misses (minutes), Fig 9's lower
@@ -155,11 +149,7 @@ impl WeekReport {
     /// curve.
     pub fn fetch_delay_ecdf(&self) -> Ecdf {
         Ecdf::new(
-            self.fetches
-                .iter()
-                .filter(|r| !r.rejected)
-                .map(|r| r.delay().as_mins_f64())
-                .collect(),
+            self.fetches.iter().filter(|r| !r.rejected).map(|r| r.delay().as_mins_f64()).collect(),
         )
     }
 
@@ -229,6 +219,59 @@ struct Pending {
     waiters: Vec<(u32, SimTime)>,
 }
 
+/// Cached telemetry handles for the cloud replay. Handles are resolved
+/// once at world construction so the per-event cost is an atomic add,
+/// not a name lookup.
+struct CloudMetrics {
+    requests: Counter,
+    cache_hit: Counter,
+    cache_miss: Counter,
+    dedup_joined: Counter,
+    predownload_success: Counter,
+    predownload_stagnation: Counter,
+    failures_by_cause: [Counter; 3],
+    upload_admit: [Counter; 4],
+    upload_cross_isp: Counter,
+    upload_reject: Counter,
+    fetch_completed: Counter,
+    fetch_impeded: Counter,
+    fetch_rate_kbps: HistogramHandle,
+    predownload_delay_ms: HistogramHandle,
+}
+
+impl CloudMetrics {
+    fn new(registry: &Registry) -> CloudMetrics {
+        let admit = |isp: Isp| {
+            registry.counter(&format!("cloud.upload.admit.{}", isp.to_string().to_lowercase()))
+        };
+        CloudMetrics {
+            requests: registry.counter("cloud.requests"),
+            cache_hit: registry.counter("cloud.cache.hit"),
+            cache_miss: registry.counter("cloud.cache.miss"),
+            dedup_joined: registry.counter("cloud.dedup.joined"),
+            predownload_success: registry.counter("cloud.predownload.success"),
+            predownload_stagnation: registry.counter("cloud.predownload.stagnation"),
+            failures_by_cause: [
+                registry.counter("cloud.predownload.fail.seeds"),
+                registry.counter("cloud.predownload.fail.connection"),
+                registry.counter("cloud.predownload.fail.bug"),
+            ],
+            upload_admit: [
+                admit(Isp::Unicom),
+                admit(Isp::Telecom),
+                admit(Isp::Mobile),
+                admit(Isp::Cernet),
+            ],
+            upload_cross_isp: registry.counter("cloud.upload.cross_isp"),
+            upload_reject: registry.counter("cloud.upload.reject"),
+            fetch_completed: registry.counter("cloud.fetch.completed"),
+            fetch_impeded: registry.counter("cloud.fetch.impeded"),
+            fetch_rate_kbps: registry.histogram("cloud.fetch.rate_kbps"),
+            predownload_delay_ms: registry.histogram("cloud.predownload.delay_ms"),
+        }
+    }
+}
+
 /// The cloud world driven by the simulation engine.
 pub struct XuanfengCloud<'a> {
     cfg: CloudConfig,
@@ -253,6 +296,7 @@ pub struct XuanfengCloud<'a> {
     counters: Counters,
     // (failures, attempts) per popularity bucket for Fig 10.
     failure_bins: Vec<(u64, u64)>,
+    metrics: CloudMetrics,
 }
 
 const FIG10_BIN_WIDTH: f64 = 10.0;
@@ -302,10 +346,12 @@ impl<'a> XuanfengCloud<'a> {
             burden_hot: BinnedSeries::new(horizon_secs, 300.0),
             counters: Counters::default(),
             failure_bins: vec![(0, 0); FIG10_BINS],
+            metrics: CloudMetrics::new(odx_telemetry::global()),
         }
     }
 
-    /// Run the full replay, consuming the world.
+    /// Run the full replay, consuming the world. Metrics land in the
+    /// process-wide [`odx_telemetry::global`] registry.
     pub fn replay(
         catalog: &Catalog,
         population: &Population,
@@ -313,13 +359,41 @@ impl<'a> XuanfengCloud<'a> {
         cfg: CloudConfig,
         rngs: &RngFactory,
     ) -> WeekReport {
-        let world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
+        Self::replay_with_registry(
+            catalog,
+            population,
+            workload,
+            cfg,
+            rngs,
+            odx_telemetry::global(),
+        )
+    }
+
+    /// Run the full replay, recording metrics and sim spans into an
+    /// explicit registry. With a fresh registry per call, two same-seed
+    /// replays produce byte-identical metric snapshots.
+    pub fn replay_with_registry(
+        catalog: &Catalog,
+        population: &Population,
+        workload: &Workload,
+        cfg: CloudConfig,
+        rngs: &RngFactory,
+        registry: &Registry,
+    ) -> WeekReport {
+        let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
+        world.metrics = CloudMetrics::new(registry);
         let mut sim = Simulation::new(world);
+        sim.attach_telemetry(registry.clone());
         for (i, r) in workload.requests().iter().enumerate() {
             sim.schedule_at(r.at, Ev::Arrive(i as u32));
         }
         sim.run_to_completion();
-        sim.into_world().into_report()
+        let report = sim.into_world().into_report();
+        registry.gauge("cloud.hit_ratio").set(report.hit_ratio());
+        registry.gauge("cloud.failure_ratio").set(report.failure_ratio());
+        registry.gauge("cloud.rejection_ratio").set(report.rejection_ratio());
+        registry.gauge("cloud.impeded_ratio").set(report.impeded_ratio());
+        report
     }
 
     fn into_report(self) -> WeekReport {
@@ -351,6 +425,7 @@ impl<'a> XuanfengCloud<'a> {
             FailureCause::SystemBug => 2,
         };
         self.counters.failures_by_cause[slot] += requests;
+        self.metrics.failures_by_cause[slot].add(requests);
         let w = f64::from(self.catalog.file(file).weekly_requests);
         let bin = ((w / FIG10_BIN_WIDTH) as usize).min(FIG10_BINS - 1);
         self.failure_bins[bin].0 += requests;
@@ -392,15 +467,26 @@ impl<'a> XuanfengCloud<'a> {
         let user = self.population.user(request.user);
         let file = self.catalog.file(request.file);
         let plan_isp = if self.cfg.privileged_paths_enabled { user.isp } else { Isp::Other };
-        let plan_user =
-            odx_trace::User { isp: plan_isp, ..*user };
+        let plan_user = odx_trace::User { isp: plan_isp, ..*user };
         let plan = self.fetch.plan(&plan_user, &mut self.upload, &mut self.rng_fetch);
+        match plan.admission.server_isp() {
+            Some(isp) => {
+                if let Some(i) = isp.major_index() {
+                    self.metrics.upload_admit[i].inc();
+                }
+                if plan.crossed_barrier {
+                    self.metrics.upload_cross_isp.inc();
+                }
+            }
+            None => self.metrics.upload_reject.inc(),
+        }
 
         let now = ctx.now();
         if plan.rate_kbps <= 0.0 {
             // Rejected outright.
             self.counters.rejected_fetches += 1;
             self.counters.impeded_fetches += 1;
+            self.metrics.fetch_impeded.inc();
             self.fetches.push(FetchRecord {
                 user_id: request.user,
                 isp: user.isp,
@@ -432,6 +518,7 @@ impl<'a> XuanfengCloud<'a> {
         let secs = odx_net::transfer_secs(acquired_mb, plan.rate_kbps);
         if plan.rate_kbps < HD_THRESHOLD_KBPS {
             self.counters.impeded_fetches += 1;
+            self.metrics.fetch_impeded.inc();
             if plan.crossed_barrier {
                 self.counters.impeded_barrier += 1;
             } else if user.access_kbps < HD_THRESHOLD_KBPS {
@@ -460,6 +547,7 @@ impl World for XuanfengCloud<'_> {
         match ev {
             Ev::Arrive(req) => {
                 self.counters.requests += 1;
+                self.metrics.requests.inc();
                 let request = &self.workload.requests()[req as usize];
                 let file_idx = request.file;
                 self.db.state_mut(file_idx).observed_requests += 1;
@@ -469,6 +557,7 @@ impl World for XuanfengCloud<'_> {
                 if self.db.state(file_idx).cached {
                     self.pool_cache.touch(&file_idx);
                     self.counters.cache_hits += 1;
+                    self.metrics.cache_hit.inc();
                     self.predownloads.push(self.hit_record(now));
                     self.pd_delay_ms[req as usize] = 0;
                     let think = self.think_after_hit();
@@ -478,7 +567,10 @@ impl World for XuanfengCloud<'_> {
                     // request will be satisfied (or fail) with it.
                     pending.waiters.push((req, now));
                     self.counters.cache_hits += 1;
+                    self.metrics.cache_hit.inc();
+                    self.metrics.dedup_joined.inc();
                 } else {
+                    self.metrics.cache_miss.inc();
                     let file = self.catalog.file(file_idx);
                     let prior = self.db.state(file_idx).failed_attempts;
                     let outcome = self.predl.attempt_with_history(
@@ -490,10 +582,7 @@ impl World for XuanfengCloud<'_> {
                     );
                     self.db.state_mut(file_idx).in_flight = true;
                     ctx.schedule_in(outcome.duration(), Ev::PredlDone { file: file_idx });
-                    self.pending.insert(
-                        file_idx,
-                        Pending { outcome, waiters: vec![(req, now)] },
-                    );
+                    self.pending.insert(file_idx, Pending { outcome, waiters: vec![(req, now)] });
                 }
             }
             Ev::PredlDone { file } => {
@@ -503,6 +592,7 @@ impl World for XuanfengCloud<'_> {
                 let now = ctx.now();
                 match pending.outcome {
                     PredownloadOutcome::Success { rate_kbps, traffic_mb, .. } => {
+                        self.metrics.predownload_success.inc();
                         if self.cfg.cache_enabled {
                             self.db.state_mut(file).cached = true;
                             for evicted in self.pool_cache.insert(file, meta.size_mb) {
@@ -520,22 +610,22 @@ impl World for XuanfengCloud<'_> {
                                 acquired_mb: meta.size_mb,
                                 traffic_mb: if i == 0 { traffic_mb } else { 0.0 },
                                 cache_hit: i != 0,
-                                avg_kbps: if i == 0 {
-                                    rate_kbps
-                                } else {
-                                    0.0
-                                },
+                                avg_kbps: if i == 0 { rate_kbps } else { 0.0 },
                                 peak_kbps: rate_kbps * (1.1 + 0.3 * u01(&mut self.rng_source)),
                                 success: true,
                                 failure_cause: None,
                             });
-                            self.pd_delay_ms[*req as usize] =
-                                now.since(*arrived).as_millis();
+                            let delay_ms = now.since(*arrived).as_millis();
+                            self.metrics.predownload_delay_ms.record(delay_ms);
+                            self.pd_delay_ms[*req as usize] = delay_ms;
                             let think = self.think_after_predownload();
                             ctx.schedule_in(think, Ev::FetchBegin { req: *req });
                         }
                     }
                     PredownloadOutcome::Failure { cause, traffic_mb, .. } => {
+                        // Failed attempts are abandoned by the stagnation
+                        // timeout rule, one firing per attempt.
+                        self.metrics.predownload_stagnation.inc();
                         self.db.state_mut(file).failed_attempts += 1;
                         let n = pending.waiters.len() as u64;
                         self.record_failure_stats(file, n, cause);
@@ -571,6 +661,8 @@ impl World for XuanfengCloud<'_> {
                 let delay = now.since(began);
                 let acquired_mb = rate_kbps * delay.as_secs_f64() / 1000.0;
                 self.counters.completed_fetches += 1;
+                self.metrics.fetch_completed.inc();
+                self.metrics.fetch_rate_kbps.record_f64(rate_kbps);
                 self.fetches.push(FetchRecord {
                     user_id: request.user,
                     isp: user.isp,
@@ -731,6 +823,48 @@ mod tests {
         assert!(peak_day > 3.5, "peak on day {peak_day:.1} should be late in the week");
         let hot_frac = report.hot_burden_fraction();
         assert!((hot_frac - 0.40).abs() < 0.12, "hot burden fraction {hot_frac}");
+    }
+
+    #[test]
+    fn metrics_snapshot_is_byte_identical_across_same_seed_replays() {
+        let run = || {
+            let registry = odx_telemetry::Registry::new();
+            let rngs = RngFactory::new(121);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(121);
+            let catalog = Catalog::generate(&CatalogConfig::scaled(0.002), &mut rng);
+            let population = Population::generate(&PopulationConfig::scaled(0.002), &mut rng);
+            let workload =
+                Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+            let report = XuanfengCloud::replay_with_registry(
+                &catalog,
+                &population,
+                &workload,
+                CloudConfig::at_scale(0.002),
+                &rngs,
+                &registry,
+            );
+            (registry.snapshot(), report)
+        };
+        let (snap_a, report) = run();
+        let (snap_b, _) = run();
+        assert_eq!(snap_a.to_json(), snap_b.to_json());
+
+        // The snapshot agrees with the report the harness prints.
+        assert_eq!(snap_a.counters["cloud.requests"], report.counters.requests);
+        assert_eq!(snap_a.counters["cloud.fetch.completed"], report.counters.completed_fetches);
+        assert_eq!(snap_a.counters["cloud.upload.reject"], report.counters.rejected_fetches);
+        assert!((snap_a.gauges["cloud.hit_ratio"] - report.hit_ratio()).abs() < 1e-12);
+        assert!((snap_a.gauges["cloud.rejection_ratio"] - report.rejection_ratio()).abs() < 1e-12);
+        // Per-ISP admissions plus rejections cover every fetch attempt.
+        let admitted: u64 = Isp::MAJORS
+            .iter()
+            .map(|isp| {
+                snap_a.counters[&format!("cloud.upload.admit.{}", isp.to_string().to_lowercase())]
+            })
+            .sum();
+        assert_eq!(admitted + snap_a.counters["cloud.upload.reject"], report.fetches.len() as u64);
+        // The sim hooks saw every scheduled event.
+        assert!(snap_a.counters["sim.events"] >= report.counters.requests);
     }
 
     #[test]

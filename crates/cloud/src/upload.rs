@@ -125,10 +125,8 @@ impl UploadPool {
         // Alternative server (§2.1): the lowest-latency major pool that can
         // still carry the flow, reached across the ISP barrier.
         let cross = cross_kbps.min(desired).max(self.floor);
-        let candidates: Vec<Isp> = Isp::MAJORS
-            .into_iter()
-            .filter(|&isp| self.headroom(isp) >= cross)
-            .collect();
+        let candidates: Vec<Isp> =
+            Isp::MAJORS.into_iter().filter(|&isp| self.headroom(isp) >= cross).collect();
         match odx_net::latency::nearest_major(user_isp, &candidates) {
             Some(server) => {
                 let i = server.major_index().expect("major");

@@ -34,6 +34,24 @@ impl fmt::Display for Bottleneck {
 }
 
 impl Bottleneck {
+    /// All four bottlenecks, in §1 order.
+    pub const ALL: [Bottleneck; 4] = [
+        Bottleneck::B1CloudFetchImpeded,
+        Bottleneck::B2CloudUploadWaste,
+        Bottleneck::B3ApUnpopularFailure,
+        Bottleneck::B4ApStorageRestriction,
+    ];
+
+    /// Short machine-readable key, used for metric names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Bottleneck::B1CloudFetchImpeded => "b1",
+            Bottleneck::B2CloudUploadWaste => "b2",
+            Bottleneck::B3ApUnpopularFailure => "b3",
+            Bottleneck::B4ApStorageRestriction => "b4",
+        }
+    }
+
     /// B1 risk: would a cloud fetch for this user be impeded? §6.1 Case 1:
     /// "if the user-side access bandwidth is low (< 1 Mbps = 125 KBps) or
     /// the user is located in a different ISP other than the four ISPs

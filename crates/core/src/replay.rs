@@ -109,10 +109,7 @@ impl OdrEvalReport {
         if ok == 0 {
             return 0.0;
         }
-        self.tasks
-            .iter()
-            .filter(|t| t.success && t.fetch_kbps < HD_THRESHOLD_KBPS)
-            .count() as f64
+        self.tasks.iter().filter(|t| t.success && t.fetch_kbps < HD_THRESHOLD_KBPS).count() as f64
             / ok as f64
     }
 
@@ -125,11 +122,8 @@ impl OdrEvalReport {
 
     /// Failure ratio over unpopular-file requests (Fig 16, B3; §6.2: 13 %).
     pub fn unpopular_failure_ratio(&self) -> f64 {
-        let unpopular: Vec<_> = self
-            .tasks
-            .iter()
-            .filter(|t| t.request.class() == PopularityClass::Unpopular)
-            .collect();
+        let unpopular: Vec<_> =
+            self.tasks.iter().filter(|t| t.request.class() == PopularityClass::Unpopular).collect();
         if unpopular.is_empty() {
             return 0.0;
         }
@@ -153,8 +147,7 @@ impl OdrEvalReport {
     /// the storage restriction if (as the shipped hybrid solutions do) the
     /// download always went through their AP.
     pub fn baseline_b4_ratio(&self) -> f64 {
-        self.tasks.iter().filter(|t| t.b4_at_risk).count() as f64
-            / self.tasks.len().max(1) as f64
+        self.tasks.iter().filter(|t| t.b4_at_risk).count() as f64 / self.tasks.len().max(1) as f64
     }
 
     /// How many tasks each decision received.
@@ -173,8 +166,7 @@ impl OdrEvalReport {
             .tasks
             .iter()
             .filter(|t| {
-                !t.success
-                    && matches!(t.verdict.decision, Decision::UserDevice | Decision::SmartAp)
+                !t.success && matches!(t.verdict.decision, Decision::UserDevice | Decision::SmartAp)
             })
             .count();
         wrong as f64 / self.tasks.len().max(1) as f64
@@ -220,13 +212,34 @@ impl OdrReplay {
         let mut warm_rng = rngs.stream("odr-warm");
         let mut tasks = Vec::with_capacity(sample.len());
 
+        // Per-proxy decision and bottleneck-detector counters, with
+        // handles resolved once per replay rather than once per task.
+        let registry = odx_telemetry::global();
+        let tasks_counter = registry.counter("odr.tasks");
+        let failures_counter = registry.counter("odr.failures");
+        let decision_counters: Vec<(Decision, odx_telemetry::Counter)> = [
+            Decision::UserDevice,
+            Decision::Cloud,
+            Decision::SmartAp,
+            Decision::CloudThenSmartAp,
+            Decision::CloudPredownload,
+        ]
+        .into_iter()
+        .map(|d| (d, registry.counter(&format!("odr.decision.{d}"))))
+        .collect();
+        let bottleneck_counters: Vec<(crate::Bottleneck, odx_telemetry::Counter)> =
+            crate::Bottleneck::ALL
+                .into_iter()
+                .map(|b| (b, registry.counter(&format!("odr.bottleneck.{}", b.key()))))
+                .collect();
+
         for (i, req) in sample.iter().enumerate() {
             let mut rng = rngs.stream_indexed("odr-task", i as u64);
             let ap = ApContext::bench(ApModel::ALL[i % 3]);
             let w = f64::from(req.weekly_requests);
-            let is_cached = *cached.entry(req.file_index).or_insert_with(|| {
-                u01(&mut warm_rng) < w / (w + self.cfg.warm_cache_pivot)
-            });
+            let is_cached = *cached
+                .entry(req.file_index)
+                .or_insert_with(|| u01(&mut warm_rng) < w / (w + self.cfg.warm_cache_pivot));
             let odr_req = OdrRequest {
                 popularity: req.class(),
                 protocol: req.protocol,
@@ -236,14 +249,22 @@ impl OdrReplay {
                 ap: Some(ap),
             };
             let verdict = self.engine.decide(&odr_req);
-            let task = self.simulate(
-                req,
-                &odr_req,
-                verdict,
-                &mut cached,
-                &mut failed_attempts,
-                &mut rng,
-            );
+            tasks_counter.inc();
+            for (d, c) in &decision_counters {
+                if *d == verdict.decision {
+                    c.inc();
+                }
+            }
+            for (b, c) in &bottleneck_counters {
+                if verdict.addresses.contains(b) {
+                    c.inc();
+                }
+            }
+            let task =
+                self.simulate(req, &odr_req, verdict, &mut cached, &mut failed_attempts, &mut rng);
+            if !task.success {
+                failures_counter.inc();
+            }
             tasks.push(task);
         }
 
@@ -329,9 +350,7 @@ impl OdrReplay {
                     // §6.1 Case 2: once notified, the user asks ODR again —
                     // B1-at-risk users then fetch through the cloud→AP
                     // relay, everyone else straight from the cloud.
-                    if let (true, Some(ap)) =
-                        (crate::Bottleneck::b1_at_risk(odr_req), odr_req.ap)
-                    {
+                    if let (true, Some(ap)) = (crate::Bottleneck::b1_at_risk(odr_req), odr_req.ap) {
                         (true, ap.storage_capped_kbps(line * eff))
                     } else {
                         (true, (req.access_kbps * eff).min(line))
@@ -444,6 +463,30 @@ mod tests {
         let r = eval(6000, 166);
         let counts = r.decision_counts();
         assert!(counts.len() >= 4, "decision mix: {counts:?}");
+    }
+
+    #[test]
+    fn decision_counters_track_tasks() {
+        // The global registry is shared with concurrently running tests,
+        // so assert only that our replay's contribution arrived.
+        let tasks = odx_telemetry::global().counter("odr.tasks");
+        let decisions: Vec<_> = [
+            Decision::UserDevice,
+            Decision::Cloud,
+            Decision::SmartAp,
+            Decision::CloudThenSmartAp,
+            Decision::CloudPredownload,
+        ]
+        .into_iter()
+        .map(|d| odx_telemetry::global().counter(&format!("odr.decision.{d}")))
+        .collect();
+        let tasks_before = tasks.get();
+        let decisions_before: u64 = decisions.iter().map(|c| c.get()).sum();
+        let r = eval(500, 168);
+        assert_eq!(r.tasks().len(), 500);
+        assert!(tasks.get() >= tasks_before + 500);
+        // Every task got exactly one decision.
+        assert!(decisions.iter().map(|c| c.get()).sum::<u64>() >= decisions_before + 500);
     }
 
     #[test]

@@ -47,9 +47,7 @@ pub fn nearest_major(from: Isp, candidates: &[Isp]) -> Option<Isp> {
         .iter()
         .copied()
         .filter(|isp| isp.is_major())
-        .min_by(|&a, &b| {
-            base_rtt_ms(from, a).partial_cmp(&base_rtt_ms(from, b)).expect("finite")
-        })
+        .min_by(|&a, &b| base_rtt_ms(from, a).partial_cmp(&base_rtt_ms(from, b)).expect("finite"))
 }
 
 #[cfg(test)]
@@ -63,10 +61,7 @@ mod tests {
         for isp in Isp::MAJORS {
             for other in Isp::MAJORS {
                 if other != isp {
-                    assert!(
-                        base_rtt_ms(isp, isp) < base_rtt_ms(isp, other),
-                        "{isp} → {other}"
-                    );
+                    assert!(base_rtt_ms(isp, isp) < base_rtt_ms(isp, other), "{isp} → {other}");
                 }
             }
         }

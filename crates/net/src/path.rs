@@ -108,9 +108,8 @@ mod tests {
 
     #[test]
     fn ties_pick_first() {
-        let p = Path::new()
-            .with(Segment::Access { kbps: 100.0 })
-            .with(Segment::AppCap { kbps: 100.0 });
+        let p =
+            Path::new().with(Segment::Access { kbps: 100.0 }).with(Segment::AppCap { kbps: 100.0 });
         assert_eq!(p.bottleneck(), Some(Segment::Access { kbps: 100.0 }));
     }
 

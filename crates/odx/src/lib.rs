@@ -32,6 +32,7 @@ pub use odx_sim as sim;
 pub use odx_smartap as smartap;
 pub use odx_stats as stats;
 pub use odx_storage as storage;
+pub use odx_telemetry as telemetry;
 pub use odx_trace as trace;
 
 use odx_cloud::{CloudConfig, WeekReport, XuanfengCloud};

@@ -185,7 +185,11 @@ pub fn simulate(cfg: &PieceSimConfig, rng: &mut dyn Rng) -> PieceSimOutcome {
         .map(|i| {
             let is_seed = i > cfg.leechers;
             Peer {
-                have: if is_seed { PieceSet::full(cfg.pieces) } else { PieceSet::empty(cfg.pieces) },
+                have: if is_seed {
+                    PieceSet::full(cfg.pieces)
+                } else {
+                    PieceSet::empty(cfg.pieces)
+                },
                 is_seed,
                 departed: false,
                 upload_kbps: if is_seed { cfg.seed_upload_kbps } else { cfg.leecher_upload_kbps },

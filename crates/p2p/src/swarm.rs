@@ -187,10 +187,8 @@ mod tests {
         let m = model();
         let weights: Vec<f64> = (1..=6).map(|k| (k as f64).powf(-0.8) * k as f64).collect();
         let total: f64 = weights.iter().sum();
-        let avg: f64 = (1..=6)
-            .map(|k| m.failure_probability(k as f64) * weights[k - 1])
-            .sum::<f64>()
-            / total;
+        let avg: f64 =
+            (1..=6).map(|k| m.failure_probability(k as f64) * weights[k - 1]).sum::<f64>() / total;
         // Swarm-only failure sits a touch above 42 % so that the blended
         // P2P+HTTP class failure lands on 42 % (HTTP fails less).
         assert!((avg - 0.45).abs() < 0.04, "unpopular swarm failure {avg}");

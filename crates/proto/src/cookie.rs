@@ -119,10 +119,8 @@ mod tests {
     #[test]
     fn set_cookie_round_trips_through_decode() {
         let header = set_context_cookie(r#"{"a":1}"#);
-        let value = header
-            .strip_prefix("odr_ctx=")
-            .and_then(|rest| rest.split(';').next())
-            .unwrap();
+        let value =
+            header.strip_prefix("odr_ctx=").and_then(|rest| rest.split(';').next()).unwrap();
         assert_eq!(decode_context(value).as_deref(), Some(r#"{"a":1}"#));
     }
 

@@ -242,10 +242,8 @@ impl Response {
             }
             if let Some((name, value)) = trimmed.split_once(':') {
                 if name.trim().eq_ignore_ascii_case("content-length") {
-                    length = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| HttpError::bad("bad content-length"))?;
+                    length =
+                        value.trim().parse().map_err(|_| HttpError::bad("bad content-length"))?;
                 }
             }
         }

@@ -308,8 +308,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..=0xDFFF).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let c =
-                                        0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(c)
                                 } else {
                                     return Err(self.err("lone high surrogate"));
@@ -330,8 +329,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
                     let ch = s.chars().next().expect("non-empty");
                     out.push(ch);
                     self.pos += ch.len_utf8();

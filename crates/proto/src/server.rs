@@ -63,7 +63,12 @@ impl Server {
             accept_loop(listener, tx, accept_shutdown);
         });
 
-        Ok(Server { addr: local, shutdown, accept_thread: Some(accept_thread), workers: worker_handles })
+        Ok(Server {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers: worker_handles,
+        })
     }
 
     /// The bound address.
@@ -164,8 +169,7 @@ mod tests {
         let threads: Vec<_> = (0..8)
             .map(|i| {
                 std::thread::spawn(move || {
-                    let resp =
-                        client::post_json(addr, "/c", &format!("{{\"i\":{i}}}")).unwrap();
+                    let resp = client::post_json(addr, "/c", &format!("{{\"i\":{i}}}")).unwrap();
                     assert_eq!(resp.status, 200);
                     assert!(String::from_utf8_lossy(&resp.body).contains(&format!("{i}")));
                 })

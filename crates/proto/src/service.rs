@@ -3,6 +3,7 @@
 //! Endpoints:
 //!
 //! * `GET /healthz` — liveness.
+//! * `GET /metrics` — JSON snapshot of the process-wide telemetry registry.
 //! * `GET /popularity/<file-id-hex>` — the content-DB lookup ODR performs.
 //! * `POST /decide` — submit a link + user context, receive a verdict.
 //!
@@ -75,9 +76,7 @@ impl OdrService {
 
     /// Register or update a single file.
     pub fn upsert(&self, id_hex: &str, popularity: PopularityClass, cached: bool) {
-        self.directory
-            .write()
-            .insert(id_hex.to_owned(), DirectoryEntry { popularity, cached });
+        self.directory.write().insert(id_hex.to_owned(), DirectoryEntry { popularity, cached });
     }
 
     /// Number of known files.
@@ -96,10 +95,16 @@ impl OdrService {
 
     /// Route one HTTP request.
     pub fn handle(&self, req: Request) -> Response {
+        // Cached handle: every routed request bumps one counter.
+        static REQUESTS: std::sync::OnceLock<odx_telemetry::Counter> = std::sync::OnceLock::new();
+        REQUESTS.get_or_init(|| odx_telemetry::global().counter("proto.requests")).inc();
         match (req.method, req.path()) {
             (Method::Get, "/") => Response::html(FRONT_PAGE),
             (Method::Get, "/healthz") => {
                 Response::json(Json::obj([("status", Json::Str("ok".into()))]).to_string_compact())
+            }
+            (Method::Get, "/metrics") => {
+                Response::json(odx_telemetry::global().snapshot().to_json())
             }
             (Method::Get, path) if path.starts_with("/popularity/") => {
                 let id = path.trim_start_matches("/popularity/");
@@ -243,11 +248,26 @@ mod tests {
     }
 
     #[test]
+    fn metrics_endpoint_serves_global_snapshot() {
+        // Seed a metric we can look for, then read it back over the wire.
+        odx_telemetry::global().counter("proto.test.sentinel").inc();
+        let svc = service_with_file(PopularityClass::Popular, true);
+        let server = svc.serve("127.0.0.1:0", 2).unwrap();
+        let resp = client::get(server.addr(), "/metrics").unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8_lossy(&resp.body);
+        let parsed = Json::parse(&body).expect("metrics snapshot is valid JSON");
+        assert!(matches!(parsed, Json::Obj(_)));
+        assert!(body.contains("proto.test.sentinel"));
+        assert!(body.contains("proto.requests"));
+        server.shutdown();
+    }
+
+    #[test]
     fn popularity_endpoint() {
         let svc = service_with_file(PopularityClass::HighlyPopular, true);
         let server = svc.serve("127.0.0.1:0", 2).unwrap();
-        let resp =
-            client::get(server.addr(), &format!("/popularity/{}", id_hex(0xabc))).unwrap();
+        let resp = client::get(server.addr(), &format!("/popularity/{}", id_hex(0xabc))).unwrap();
         assert_eq!(resp.status, 200);
         let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(v.get("class").and_then(Json::as_str), Some("highly-popular"));

@@ -4,6 +4,24 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use odx_telemetry::{Counter, Gauge, Registry};
+
+/// Cached metric handles for an instrumented [`Simulation`].
+struct SimTelemetry {
+    registry: Registry,
+    events: Counter,
+    queue_depth: Gauge,
+}
+
+impl SimTelemetry {
+    fn new(registry: Registry) -> SimTelemetry {
+        SimTelemetry {
+            events: registry.counter("sim.events"),
+            queue_depth: registry.gauge("sim.queue_depth"),
+            registry,
+        }
+    }
+}
 
 /// A simulated system. The world reacts to events and may schedule more via
 /// the [`Ctx`] passed to [`World::handle`].
@@ -52,12 +70,27 @@ pub struct Simulation<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     processed: u64,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl<W: World> Simulation<W> {
     /// Create a simulation at time zero with an empty agenda.
     pub fn new(world: W) -> Self {
-        Simulation { world, queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry registry. Each processed event bumps the
+    /// `sim.events` counter, the `sim.queue_depth` gauge tracks pending
+    /// events, and every `run_until` / `run_to_completion` call records
+    /// a `sim.run` span stamped with virtual time.
+    pub fn attach_telemetry(&mut self, registry: Registry) {
+        self.telemetry = Some(SimTelemetry::new(registry));
     }
 
     /// The current simulation time.
@@ -104,6 +137,10 @@ impl<W: World> Simulation<W> {
                 let mut ctx = Ctx { now: self.now, queue: &mut self.queue };
                 self.world.handle(&mut ctx, event);
                 self.processed += 1;
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.events.inc();
+                    telemetry.queue_depth.set(self.queue.len() as f64);
+                }
                 true
             }
             None => false,
@@ -115,11 +152,18 @@ impl<W: World> Simulation<W> {
     /// fired event (or the horizon if nothing fires).
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let before = self.processed;
+        let span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.registry.tracer().open("sim.run", self.now.as_millis()));
         while let Some(t) = self.queue.peek_time() {
             if t > horizon {
                 break;
             }
             self.step();
+        }
+        if let (Some(telemetry), Some(span)) = (&self.telemetry, span) {
+            telemetry.registry.tracer().close("sim.run", span, self.now.as_millis());
         }
         self.processed - before
     }
@@ -214,5 +258,27 @@ mod tests {
             sim.into_world().log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_hooks_record_events_and_spans() {
+        let registry = odx_telemetry::Registry::new();
+        let mut sim = Simulation::new(Recorder::default());
+        sim.attach_telemetry(registry.clone());
+        sim.schedule_at(SimTime::from_millis(10), Ev::Mark("a"));
+        sim.schedule_at(SimTime::from_millis(20), Ev::Mark("b"));
+        sim.run_to_completion();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sim.events"], 2);
+        assert_eq!(snap.gauges["sim.queue_depth"], 0.0);
+        // One sim.run span, opened at t=0 and closed at the clock's
+        // final virtual time.
+        let events = &snap.trace.events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "sim.run");
+        assert_eq!(events[0].kind, odx_telemetry::SpanKind::Open);
+        assert_eq!(events[0].at_ms, 0);
+        assert_eq!(events[1].kind, odx_telemetry::SpanKind::Close);
+        assert_eq!(events[1].at_ms, 20);
     }
 }

@@ -45,6 +45,11 @@ impl FlowSpec {
 /// non-positive capacity pin their flows to zero. Panics if a flow references
 /// a link out of range.
 pub fn max_min_rates(link_caps: &[f64], flows: &[FlowSpec]) -> Vec<f64> {
+    // Cached handle into the global registry: the solver sits on hot
+    // paths (per-AP LAN sharing), so pay the registry lookup once.
+    static INVOCATIONS: std::sync::OnceLock<odx_telemetry::Counter> = std::sync::OnceLock::new();
+    INVOCATIONS.get_or_init(|| odx_telemetry::global().counter("sim.fluid.invocations")).inc();
+
     for f in flows {
         for &l in &f.links {
             assert!(l < link_caps.len(), "flow references unknown link {l}");
@@ -188,11 +193,7 @@ mod tests {
         // link0=100, link1=60: max-min gives f0=min share, then leftovers.
         let rates = max_min_rates(
             &[100.0, 60.0],
-            &[
-                FlowSpec::over(vec![0, 1]),
-                FlowSpec::over(vec![0]),
-                FlowSpec::over(vec![1]),
-            ],
+            &[FlowSpec::over(vec![0, 1]), FlowSpec::over(vec![0]), FlowSpec::over(vec![1])],
         );
         // Fill to 30 (link1 saturates: 2 flows × 30 = 60). f0, f2 freeze.
         // f1 continues to 100 - 30 = 70.

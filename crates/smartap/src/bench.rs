@@ -67,8 +67,7 @@ impl ApBenchReport {
 
     /// Overall failure ratio (§5.2: 16.8 %).
     pub fn failure_ratio(&self) -> f64 {
-        self.records.iter().filter(|r| !r.success).count() as f64
-            / self.records.len().max(1) as f64
+        self.records.iter().filter(|r| !r.success).count() as f64 / self.records.len().max(1) as f64
     }
 
     /// Failure ratio over requests for unpopular files (§5.2: 42 %).
@@ -164,8 +163,8 @@ impl SmartApBenchmark {
 mod tests {
     use super::*;
     use odx_trace::{
-        sample_benchmark_workload, Catalog, CatalogConfig, Population, PopulationConfig,
-        Workload, WorkloadConfig,
+        sample_benchmark_workload, Catalog, CatalogConfig, Population, PopulationConfig, Workload,
+        WorkloadConfig,
     };
     use rand::SeedableRng;
 
@@ -240,10 +239,7 @@ mod tests {
         let b = report(300, 146);
         assert_eq!(a.failure_ratio(), b.failure_ratio());
         assert_eq!(
-            a.records()[..50]
-                .iter()
-                .map(|r| r.rate_kbps)
-                .collect::<Vec<_>>(),
+            a.records()[..50].iter().map(|r| r.rate_kbps).collect::<Vec<_>>(),
             b.records()[..50].iter().map(|r| r.rate_kbps).collect::<Vec<_>>()
         );
     }

@@ -40,8 +40,7 @@ pub struct ConcurrentReport {
 impl ConcurrentReport {
     /// Failure ratio across the queue.
     pub fn failure_ratio(&self) -> f64 {
-        self.tasks.iter().filter(|t| !t.success).count() as f64
-            / self.tasks.len().max(1) as f64
+        self.tasks.iter().filter(|t| !t.success).count() as f64 / self.tasks.len().max(1) as f64
     }
 }
 
@@ -76,10 +75,8 @@ impl ApWorld {
             .active
             .iter()
             .map(|j| {
-                let cap = self
-                    .engine
-                    .storage_capped_rate(j.source_kbps.min(ADSL_LINK_KBPS))
-                    .max(0.001);
+                let cap =
+                    self.engine.storage_capped_rate(j.source_kbps.min(ADSL_LINK_KBPS)).max(0.001);
                 FlowSpec::capped(vec![0], cap)
             })
             .collect();
@@ -229,11 +226,7 @@ pub fn replay_concurrent(
     sim.run_to_completion();
     let makespan = sim.now().since(SimTime::ZERO);
     let world = sim.into_world();
-    let tasks = world
-        .results
-        .into_iter()
-        .map(|t| t.expect("every task resolves"))
-        .collect();
+    let tasks = world.results.into_iter().map(|t| t.expect("every task resolves")).collect();
     ConcurrentReport { tasks, makespan }
 }
 
@@ -258,8 +251,7 @@ mod tests {
 
     #[test]
     fn all_tasks_resolve() {
-        let report =
-            replay_concurrent(ApModel::MiWiFi, &sample(40), 4, &RngFactory::new(300));
+        let report = replay_concurrent(ApModel::MiWiFi, &sample(40), 4, &RngFactory::new(300));
         assert_eq!(report.tasks.len(), 40);
         assert!(report.makespan > SimDuration::ZERO);
     }
@@ -283,12 +275,8 @@ mod tests {
     fn line_capacity_bounds_aggregate_progress() {
         let s = sample(30);
         let report = replay_concurrent(ApModel::MiWiFi, &s, 8, &RngFactory::new(302));
-        let payload_mb: f64 = s
-            .iter()
-            .zip(&report.tasks)
-            .filter(|(_, t)| t.success)
-            .map(|(r, _)| r.size_mb)
-            .sum();
+        let payload_mb: f64 =
+            s.iter().zip(&report.tasks).filter(|(_, t)| t.success).map(|(r, _)| r.size_mb).sum();
         let min_secs = payload_mb * 1000.0 / ADSL_LINK_KBPS;
         assert!(
             report.makespan.as_secs_f64() >= min_secs * 0.99,

@@ -113,6 +113,17 @@ impl ApEngine {
         access_cap_kbps: f64,
         rng: &mut dyn Rng,
     ) -> ApOutcome {
+        let out = self.pre_download_inner(file, access_cap_kbps, rng);
+        record_outcome(&out);
+        out
+    }
+
+    fn pre_download_inner(
+        &self,
+        file: &FileMeta,
+        access_cap_kbps: f64,
+        rng: &mut dyn Rng,
+    ) -> ApOutcome {
         // Firmware bugs kill a small fraction of attempts outright.
         if u01(rng) < self.cfg.bug_probability {
             return ApOutcome {
@@ -148,18 +159,14 @@ impl ApEngine {
                             FailureCause::PoorConnection
                         }),
                         rate_kbps: 0.0,
-                        duration: self.cfg.timeout
-                            + SimDuration::from_secs_f64(3600.0 * u01(rng)),
+                        duration: self.cfg.timeout + SimDuration::from_secs_f64(3600.0 * u01(rng)),
                         traffic_mb: file.size_mb * u01(rng) * 0.15,
                         iowait: 0.0,
                         storage_limited: false,
                     };
                 }
-                let profile = write_profile(
-                    self.storage.device,
-                    self.storage.fs,
-                    self.model.cpu_mhz(),
-                );
+                let profile =
+                    write_profile(self.storage.device, self.storage.fs, self.model.cpu_mhz());
                 let factor = match file.protocol {
                     Protocol::BitTorrent | Protocol::EMule => self.overhead.p2p_factor(rng),
                     Protocol::Http | Protocol::Ftp => self.overhead.http_ftp_factor(rng),
@@ -168,10 +175,7 @@ impl ApEngine {
                     success: true,
                     cause: None,
                     rate_kbps: achieved,
-                    duration: SimDuration::from_secs_f64(transfer_secs(
-                        file.size_mb,
-                        achieved,
-                    )),
+                    duration: SimDuration::from_secs_f64(transfer_secs(file.size_mb, achieved)),
                     traffic_mb: file.size_mb * factor,
                     iowait: profile.iowait_at(achieved / 1000.0),
                     storage_limited: achieved < offered - 1e-9,
@@ -181,13 +185,47 @@ impl ApEngine {
                 success: false,
                 cause: Some(cause),
                 rate_kbps: 0.0,
-                duration: self.cfg.timeout
-                    + SimDuration::from_secs_f64(3600.0 * u01(rng)),
+                duration: self.cfg.timeout + SimDuration::from_secs_f64(3600.0 * u01(rng)),
                 traffic_mb: file.size_mb * u01(rng) * 0.15,
                 iowait: 0.0,
                 storage_limited: false,
             },
         }
+    }
+}
+
+/// Cached telemetry handles for AP attempt outcomes, resolved once.
+struct ApMetrics {
+    attempts: odx_telemetry::Counter,
+    write_stall: odx_telemetry::Counter,
+    fail_seeds: odx_telemetry::Counter,
+    fail_connection: odx_telemetry::Counter,
+    fail_bug: odx_telemetry::Counter,
+}
+
+/// Count one attempt outcome: total attempts, storage write stalls
+/// (Table 2's storage-limited transfers), and the §4.1 failure taxonomy.
+fn record_outcome(out: &ApOutcome) {
+    static METRICS: std::sync::OnceLock<ApMetrics> = std::sync::OnceLock::new();
+    let m = METRICS.get_or_init(|| {
+        let registry = odx_telemetry::global();
+        ApMetrics {
+            attempts: registry.counter("smartap.attempts"),
+            write_stall: registry.counter("smartap.write_stall"),
+            fail_seeds: registry.counter("smartap.fail.seeds"),
+            fail_connection: registry.counter("smartap.fail.connection"),
+            fail_bug: registry.counter("smartap.fail.bug"),
+        }
+    });
+    m.attempts.inc();
+    if out.storage_limited {
+        m.write_stall.inc();
+    }
+    match out.cause {
+        Some(FailureCause::InsufficientSeeds) => m.fail_seeds.inc(),
+        Some(FailureCause::PoorConnection) => m.fail_connection.inc(),
+        Some(FailureCause::SystemBug) => m.fail_bug.inc(),
+        None => {}
     }
 }
 
@@ -252,9 +290,7 @@ mod tests {
         let n = 30_000;
         let bugs = (0..n)
             .filter(|_| {
-                engine
-                    .pre_download(&file(10.0, Protocol::Http, 5000), 2500.0, &mut rng)
-                    .cause
+                engine.pre_download(&file(10.0, Protocol::Http, 5000), 2500.0, &mut rng).cause
                     == Some(FailureCause::SystemBug)
             })
             .count();
@@ -281,11 +317,8 @@ mod tests {
         // Popular fast file, unrestricted: if it runs at the full line rate,
         // iowait should approach Table 2's 42.1 % for SD+FAT.
         for _ in 0..3000 {
-            let out = engine.pre_download(
-                &file(100.0, Protocol::Http, 50_000),
-                f64::INFINITY,
-                &mut rng,
-            );
+            let out =
+                engine.pre_download(&file(100.0, Protocol::Http, 50_000), f64::INFINITY, &mut rng);
             if out.success && out.rate_kbps > 2300.0 {
                 assert!((out.iowait - 0.421).abs() < 0.03, "iowait {}", out.iowait);
                 return;

@@ -99,7 +99,11 @@ mod tests {
         let close = |a: f64, b: f64, tol: f64| (a - b).abs() / b < tol;
         assert!(close(lookup(&rows, DeviceKind::SdCard, FsKind::Fat).max_speed_mbps, 2.37, 0.01));
         assert!(close(lookup(&rows, DeviceKind::SataHdd, FsKind::Ext4).max_speed_mbps, 2.37, 0.01));
-        assert!(close(lookup(&rows, DeviceKind::UsbFlash, FsKind::Ntfs).max_speed_mbps, 0.93, 0.05));
+        assert!(close(
+            lookup(&rows, DeviceKind::UsbFlash, FsKind::Ntfs).max_speed_mbps,
+            0.93,
+            0.05
+        ));
         assert!(close(lookup(&rows, DeviceKind::UsbHdd, FsKind::Ntfs).max_speed_mbps, 1.13, 0.05));
         assert!(close(lookup(&rows, DeviceKind::UsbFlash, FsKind::Fat).iowait, 0.663, 0.05));
         assert!(close(lookup(&rows, DeviceKind::UsbHdd, FsKind::Ext4).iowait, 0.174, 0.10));

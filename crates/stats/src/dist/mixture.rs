@@ -18,8 +18,7 @@ impl Mixture {
         assert!(!components.is_empty(), "mixture needs at least one component");
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(total > 0.0 && components.iter().all(|(w, _)| *w >= 0.0), "bad weights");
-        let components =
-            components.into_iter().map(|(w, d)| (w / total, d)).collect();
+        let components = components.into_iter().map(|(w, d)| (w / total, d)).collect();
         Mixture { components }
     }
 

@@ -232,12 +232,8 @@ mod tests {
         for k in 1..6 {
             assert!(counts[k] > counts[k + 1], "{counts:?}");
         }
-        let emp_mean = counts
-            .iter()
-            .enumerate()
-            .map(|(k, &c)| k as f64 * c as f64)
-            .sum::<f64>()
-            / 50_000.0;
+        let emp_mean =
+            counts.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum::<f64>() / 50_000.0;
         assert!((emp_mean - d.mean()).abs() < 0.05);
     }
 

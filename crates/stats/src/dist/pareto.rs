@@ -114,7 +114,8 @@ mod tests {
     #[test]
     fn solve_alpha_recovers_shape() {
         // Round-trip: the solved alpha reproduces the requested mean.
-        for (lo, hi, target) in [(85.0, 60_000.0, 336.0), (85.0, 3_000.0, 336.0), (7.0, 84.0, 30.0)] {
+        for (lo, hi, target) in [(85.0, 60_000.0, 336.0), (85.0, 3_000.0, 336.0), (7.0, 84.0, 30.0)]
+        {
             let alpha = BoundedPareto::solve_alpha(lo, hi, target);
             let mean = BoundedPareto::new(alpha, lo, hi).mean();
             assert!(

@@ -41,8 +41,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LineFit {
     assert!(sxx > 0.0, "x has no variance");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let ss_res: f64 =
-        xs.iter().zip(ys).map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
     let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     LineFit { slope, intercept, r2 }
@@ -114,8 +113,7 @@ pub fn fit_se(ranked: &[f64], c: f64) -> RankFit {
     let xs: Vec<f64> = (1..=ranked.len()).map(|i| (i as f64).log10()).collect();
     let ys: Vec<f64> = ranked.iter().map(|y| y.powf(c)).collect();
     let line = linear_fit(&xs, &ys);
-    let mut fit =
-        RankFit { a: -line.slope, b: line.intercept, c, avg_rel_error: 0.0, r2: line.r2 };
+    let mut fit = RankFit { a: -line.slope, b: line.intercept, c, avg_rel_error: 0.0, r2: line.r2 };
     fit.avg_rel_error = avg_rel_error(ranked, &fit);
     fit
 }

@@ -2,7 +2,7 @@
 
 use odx_stats::dist::{BoundedPareto, Dist, LogNormal, LogUniform, Zipf};
 use odx_stats::fit::{fit_se, fit_zipf, linear_fit, rank_frequency};
-use odx_stats::ks::{ks_distance, ks_critical};
+use odx_stats::ks::{ks_critical, ks_distance};
 use odx_stats::{BinnedSeries, Ecdf};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -104,12 +104,7 @@ pub fn write_profile(dev: DeviceKind, fs: FsKind, cpu_mhz: f64) -> WriteProfile 
 
 /// Convenience: the effective pre-download rate in **KBps** for a network
 /// offer in KBps (the unit the rest of the workspace uses).
-pub fn effective_rate_kbps(
-    dev: DeviceKind,
-    fs: FsKind,
-    cpu_mhz: f64,
-    network_kbps: f64,
-) -> f64 {
+pub fn effective_rate_kbps(dev: DeviceKind, fs: FsKind, cpu_mhz: f64, network_kbps: f64) -> f64 {
     write_profile(dev, fs, cpu_mhz).effective_mbps(network_kbps / 1000.0) * 1000.0
 }
 
@@ -203,8 +198,7 @@ mod tests {
     fn slow_network_is_never_storage_limited() {
         // At typical swarm rates (tens of KBps) storage never binds — which
         // is why Bottleneck 4 only shows up on fast (popular-file) downloads.
-        let rate =
-            effective_rate_kbps(DeviceKind::UsbFlash, FsKind::Ntfs, MHZ_580, 64.0);
+        let rate = effective_rate_kbps(DeviceKind::UsbFlash, FsKind::Ntfs, MHZ_580, 64.0);
         assert!((rate - 64.0).abs() < 1e-9);
     }
 

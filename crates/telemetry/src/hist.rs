@@ -1,0 +1,276 @@
+//! Log-bucketed (HDR-style) histograms over `u64` values.
+//!
+//! Values below 64 land in exact unit buckets; above that, each
+//! power-of-two octave splits into 32 sub-buckets, bounding relative
+//! quantile error at 1/32 (≈ 3.1 %). All state is integral (`u64`
+//! counts, `u128` sum), so [`Histogram::merge`] is exact and
+//! associative — merging shard histograms in any grouping yields the
+//! same result, which the property tests assert.
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket precision: 2^5 = 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Values below this threshold get exact unit buckets.
+const EXACT_LIMIT: u64 = SUB_COUNT * 2;
+
+/// A mergeable log-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for `v`.
+fn bucket_index(v: u64) -> u32 {
+    if v < EXACT_LIMIT {
+        v as u32
+    } else {
+        let exponent = 63 - v.leading_zeros();
+        let sub = ((v >> (exponent - SUB_BITS)) & (SUB_COUNT - 1)) as u32;
+        EXACT_LIMIT as u32 + (exponent - SUB_BITS - 1) * SUB_COUNT as u32 + sub
+    }
+}
+
+/// Lowest value mapping to bucket `idx`.
+fn bucket_lower(idx: u32) -> u64 {
+    if u64::from(idx) < EXACT_LIMIT {
+        u64::from(idx)
+    } else {
+        let rel = idx - EXACT_LIMIT as u32;
+        let octave = rel / SUB_COUNT as u32;
+        let sub = u64::from(rel % SUB_COUNT as u32);
+        (SUB_COUNT + sub) << (octave + 1)
+    }
+}
+
+/// Width of bucket `idx` (number of distinct values it covers).
+fn bucket_width(idx: u32) -> u64 {
+    if u64::from(idx) < EXACT_LIMIT {
+        1
+    } else {
+        let octave = (idx - EXACT_LIMIT as u32) / SUB_COUNT as u32;
+        2u64 << octave
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        if self.count == 1 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Record a non-negative float sample, rounded to the nearest
+    /// integer unit. Negative and non-finite values clamp to zero.
+    pub fn record_f64(&mut self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v.round() as u64 } else { 0 };
+        self.record(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 ..= 1.0`): the highest
+    /// value of the bucket holding the `ceil(q · count)`-th smallest
+    /// sample. At least that many samples are ≤ the returned value,
+    /// and it exceeds the true quantile by at most one bucket width
+    /// (relative error ≤ 1/32 above the exact-bucket range).
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_lower(idx) + bucket_width(idx) - 1;
+            }
+        }
+        self.max
+    }
+
+    /// Exact merge: the result is identical to having recorded both
+    /// sample streams into one histogram, and merging is associative
+    /// and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Immutable export of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            buckets: self.buckets.iter().map(|(&idx, &n)| (bucket_lower(idx), n)).collect(),
+        }
+    }
+}
+
+/// Point-in-time export of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sample sum.
+    pub sum: u128,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// `(bucket lower bound, sample count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_line() {
+        // Every bucket starts exactly where the previous one ends. The
+        // final bucket (index 1919) ends at 2^64, which overflows u64,
+        // so check up to the one before it.
+        for idx in 0..1918u32 {
+            assert_eq!(
+                bucket_lower(idx) + bucket_width(idx),
+                bucket_lower(idx + 1),
+                "gap or overlap at bucket {idx}"
+            );
+        }
+        // And indexing round-trips: v lands in a bucket covering v.
+        for v in (0..10_000_000u64).step_by(9973) {
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v);
+            assert!(v < bucket_lower(idx) + bucket_width(idx));
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..EXACT_LIMIT {
+            h.record(v);
+        }
+        for v in 0..EXACT_LIMIT {
+            let q = (v + 1) as f64 / EXACT_LIMIT as f64;
+            assert_eq!(h.value_at_quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in 0..5000u64 {
+            let sample = v.wrapping_mul(2_654_435_761) % 1_000_000;
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            combined.record(sample);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+}

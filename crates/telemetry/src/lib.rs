@@ -1,0 +1,57 @@
+//! # odx-telemetry — deterministic metrics & virtual-time tracing
+//!
+//! The observability substrate for the odx stack: a [`Registry`] of
+//! named [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s
+//! with exact merge semantics, plus a [`Tracer`] recording span
+//! open/close events stamped with **virtual time** (milliseconds from
+//! `odx-sim`'s clock, never wall-clock). Because every recorded value
+//! is either an integer or derived from the deterministic replay
+//! itself, two runs with the same seed produce **byte-identical**
+//! snapshot exports ([`Snapshot::to_json`] / [`Snapshot::to_csv`]).
+//!
+//! Zero external dependencies by design: every crate in the workspace
+//! can instrument itself without widening its dependency graph.
+//!
+//! ## Usage
+//!
+//! Deep call-sites that cannot thread a registry through their
+//! signatures record into [`global()`]; replay entry points accept an
+//! explicit `&Registry` so tests can isolate and diff snapshots.
+//!
+//! ```
+//! use odx_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("cloud.cache.hit").inc();
+//! registry.histogram("cloud.fetch_speed_kbps").record(740);
+//! let span = registry.tracer().open("cloud.replay", 0);
+//! registry.tracer().close("cloud.replay", span, 604_800_000);
+//! let json = registry.snapshot().to_json();
+//! assert!(json.contains("cloud.cache.hit"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod export;
+mod hist;
+mod registry;
+mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, HistogramHandle, Registry, Snapshot};
+pub use trace::{SpanEvent, SpanKind, TraceSnapshot, Tracer};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+///
+/// Library call-sites too deep to receive an explicit registry record
+/// here. Single-process deterministic runs (the `repro` binary) dump
+/// this registry; tests that need isolation should construct their own
+/// [`Registry`] instead of asserting on the global one, since parallel
+/// test threads share it.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the telemetry histogram and registry export:
+//! quantile error bounds, exact/associative merging, and deterministic
+//! serialization.
+
+use odx_telemetry::{Histogram, Registry};
+use proptest::prelude::*;
+
+/// Split `values` into chunks and record each chunk into its own histogram.
+fn shard(values: &[u64], chunks: usize) -> Vec<Histogram> {
+    let per = values.len().div_ceil(chunks.max(1)).max(1);
+    values
+        .chunks(per)
+        .map(|c| {
+            let mut h = Histogram::new();
+            for &v in c {
+                h.record(v);
+            }
+            h
+        })
+        .collect()
+}
+
+proptest! {
+    /// The reported quantile never undershoots the true quantile, and its
+    /// relative overshoot is bounded by the sub-bucket precision (1/32).
+    #[test]
+    fn quantile_bounds_hold(
+        unsorted in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &unsorted {
+            h.record(v);
+        }
+        let mut values = unsorted;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let reported = h.value_at_quantile(q);
+        prop_assert!(reported >= exact, "reported {reported} < exact {exact}");
+        // The reported value is the upper edge of exact's bucket, so the
+        // overshoot is below one sub-bucket width: 1/32 of the value's
+        // octave (plus one for the integer bucket edges).
+        let bound = exact + exact / 32 + 1;
+        prop_assert!(reported <= bound, "reported {reported} > bound {bound} (exact {exact})");
+    }
+
+    /// Merging shards is exact: any sharding of the sample stream merges
+    /// back to the histogram of the whole stream.
+    #[test]
+    fn merge_is_exact_over_any_sharding(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        chunks in 1usize..8,
+    ) {
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut merged = Histogram::new();
+        for part in shard(&values, chunks) {
+            merged.merge(&part);
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Merge is associative: left-fold and right-fold of the same shard
+    /// list are identical histograms.
+    #[test]
+    fn merge_is_associative(
+        values in prop::collection::vec(0u64..1_000_000, 3..200),
+        chunks in 2usize..6,
+    ) {
+        let shards = shard(&values, chunks);
+        let mut left = Histogram::new();
+        for s in &shards {
+            left.merge(s);
+        }
+        let mut right = Histogram::new();
+        for s in shards.iter().rev() {
+            right.merge(s);
+        }
+        prop_assert_eq!(left, right);
+    }
+
+    /// Count, sum, min and max are always exact regardless of bucketing.
+    #[test]
+    fn aggregates_are_exact(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// Replaying the same recording sequence into two fresh registries
+    /// yields byte-identical JSON and CSV exports.
+    #[test]
+    fn exports_are_deterministic(
+        counters in prop::collection::vec(("[a-z]{1,8}", 0u64..1000), 0..20),
+        samples in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let build = || {
+            let registry = Registry::new();
+            for (name, n) in &counters {
+                registry.counter(name).add(*n);
+            }
+            let h = registry.histogram("h");
+            for &v in &samples {
+                h.record(v);
+            }
+            registry.gauge("g").set(samples.len() as f64);
+            registry.tracer().instant("mark", samples.len() as u64);
+            registry.snapshot()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.to_json(), b.to_json());
+        prop_assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

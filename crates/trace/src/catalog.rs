@@ -1,6 +1,6 @@
 //! The file catalog: sizes, types, protocols, and weekly popularity.
 
-use odx_stats::dist::{u01, BoundedPareto, Dist, DiscretePowerLaw, LogNormal, LogUniform};
+use odx_stats::dist::{u01, BoundedPareto, DiscretePowerLaw, Dist, LogNormal, LogUniform};
 use rand::Rng;
 use serde::Serialize;
 
@@ -174,10 +174,7 @@ impl Catalog {
             .filter(|f| f.class() == class)
             .map(|f| u64::from(f.weekly_requests))
             .sum();
-        (
-            files as f64 / self.files.len() as f64,
-            requests as f64 / self.total_requests as f64,
-        )
+        (files as f64 / self.files.len() as f64, requests as f64 / self.total_requests as f64)
     }
 
     /// Weekly counts as a vector (for rank-frequency fitting).
@@ -252,8 +249,8 @@ mod tests {
     #[test]
     fn type_mix_matches_section3() {
         let c = catalog();
-        let video = c.files().iter().filter(|f| f.ftype == FileType::Video).count() as f64
-            / c.len() as f64;
+        let video =
+            c.files().iter().filter(|f| f.ftype == FileType::Video).count() as f64 / c.len() as f64;
         let software = c.files().iter().filter(|f| f.ftype == FileType::Software).count() as f64
             / c.len() as f64;
         assert!((video - 0.75).abs() < 0.03, "video {video}");

@@ -80,11 +80,8 @@ fn sample_filtered(
     rng: &mut dyn Rng,
     eligible_user: impl Fn(&crate::User) -> bool,
 ) -> Vec<SampledRequest> {
-    let eligible: Vec<&crate::Request> = workload
-        .requests()
-        .iter()
-        .filter(|r| eligible_user(population.user(r.user)))
-        .collect();
+    let eligible: Vec<&crate::Request> =
+        workload.requests().iter().filter(|r| eligible_user(population.user(r.user))).collect();
     assert!(!eligible.is_empty(), "no eligible requests to sample");
 
     (0..n)
@@ -133,8 +130,7 @@ mod tests {
         // §5.2 relies on ~36 % of sampled requests being for unpopular files
         // (requests, not files, so the mix matches request shares).
         let (_, s) = sampled();
-        let unpopular = s.iter().filter(|r| r.class() == PopularityClass::Unpopular).count()
-            as f64
+        let unpopular = s.iter().filter(|r| r.class() == PopularityClass::Unpopular).count() as f64
             / s.len() as f64;
         let highly = s.iter().filter(|r| r.class() == PopularityClass::HighlyPopular).count()
             as f64

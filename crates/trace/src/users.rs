@@ -111,16 +111,16 @@ mod tests {
     #[test]
     fn isp_mix_has_barrier_population() {
         let p = population();
-        let outside = p.users().iter().filter(|u| !u.isp.is_major()).count() as f64
-            / p.len() as f64;
+        let outside =
+            p.users().iter().filter(|u| !u.isp.is_major()).count() as f64 / p.len() as f64;
         assert!((outside - 0.096).abs() < 0.01, "outside majors: {outside}");
     }
 
     #[test]
     fn access_bandwidth_spans_paper_range() {
         let p = population();
-        let below_hd = p.users().iter().filter(|u| u.access_kbps < 125.0).count() as f64
-            / p.len() as f64;
+        let below_hd =
+            p.users().iter().filter(|u| u.access_kbps < 125.0).count() as f64 / p.len() as f64;
         assert!((below_hd - 0.108).abs() < 0.02, "below HD: {below_hd}");
     }
 

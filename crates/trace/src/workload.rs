@@ -68,11 +68,8 @@ impl Workload {
         cfg: &WorkloadConfig,
         rng: &mut dyn Rng,
     ) -> Self {
-        let max_intensity = cfg
-            .day_weights
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b))
-            * (1.0 + cfg.diurnal_amplitude);
+        let max_intensity =
+            cfg.day_weights.iter().fold(0.0f64, |a, &b| a.max(b)) * (1.0 + cfg.diurnal_amplitude);
         let mut requests = Vec::with_capacity(catalog.total_requests() as usize);
         for (file_idx, file) in catalog.files().iter().enumerate() {
             for _ in 0..file.weekly_requests {
@@ -108,9 +105,7 @@ impl Workload {
 /// intensity profile.
 fn sample_arrival(cfg: &WorkloadConfig, max_intensity: f64, rng: &mut dyn Rng) -> SimTime {
     loop {
-        let t = SimTime::from_millis(
-            (u01(rng) * crate::WEEK.as_millis() as f64) as u64,
-        );
+        let t = SimTime::from_millis((u01(rng) * crate::WEEK.as_millis() as f64) as u64);
         if u01(rng) * max_intensity <= cfg.intensity(t) {
             return t;
         }

@@ -2,8 +2,7 @@
 
 use odx_stats::dist::u01;
 use odx_trace::{
-    Catalog, CatalogConfig, PopularityClass, Population, PopulationConfig, Workload,
-    WorkloadConfig,
+    Catalog, CatalogConfig, PopularityClass, Population, PopulationConfig, Workload, WorkloadConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -12,10 +12,8 @@ use odx::net::kbps_to_gbps;
 use odx::Study;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("scale must be a number"))
-        .unwrap_or(0.05);
+    let scale: f64 =
+        std::env::args().nth(1).map(|s| s.parse().expect("scale must be a number")).unwrap_or(0.05);
     println!("replaying one week on the Xuanfeng model at scale {scale} …");
     let study = Study::generate(scale, 2015);
     let report = study.replay_cloud();
@@ -37,25 +35,55 @@ fn main() {
     let pd = report.predownload_speed_ecdf().summary().unwrap();
     let fetch = report.fetch_speed_ecdf().summary().unwrap();
     let e2e = report.end_to_end_speed_ecdf().summary().unwrap();
-    println!("pre-downloading  median {:>6.0}  mean {:>6.0}  max {:>6.0}   (paper: 25 / 69 / 2370)", pd.median, pd.mean, pd.max);
-    println!("fetching         median {:>6.0}  mean {:>6.0}  max {:>6.0}   (paper: 287 / 504 / 6100)", fetch.median, fetch.mean, fetch.max);
-    println!("end-to-end       median {:>6.0}  mean {:>6.0}  max {:>6.0}   (paper: 233 / 380 / 6100)", e2e.median, e2e.mean, e2e.max);
+    println!(
+        "pre-downloading  median {:>6.0}  mean {:>6.0}  max {:>6.0}   (paper: 25 / 69 / 2370)",
+        pd.median, pd.mean, pd.max
+    );
+    println!(
+        "fetching         median {:>6.0}  mean {:>6.0}  max {:>6.0}   (paper: 287 / 504 / 6100)",
+        fetch.median, fetch.mean, fetch.max
+    );
+    println!(
+        "end-to-end       median {:>6.0}  mean {:>6.0}  max {:>6.0}   (paper: 233 / 380 / 6100)",
+        e2e.median, e2e.mean, e2e.max
+    );
 
     println!("\n— Fig 9: delays (minutes) —");
     let pdd = report.predownload_delay_ecdf().summary().unwrap();
     let fd = report.fetch_delay_ecdf().summary().unwrap();
     let ed = report.end_to_end_delay_ecdf().summary().unwrap();
-    println!("pre-downloading  median {:>6.0}  mean {:>6.0}   (paper: 82 / 370)", pdd.median, pdd.mean);
+    println!(
+        "pre-downloading  median {:>6.0}  mean {:>6.0}   (paper: 82 / 370)",
+        pdd.median, pdd.mean
+    );
     println!("fetching         median {:>6.1}  mean {:>6.1}   (paper: 7 / 27)", fd.median, fd.mean);
-    println!("end-to-end       median {:>6.1}  mean {:>6.1}   (paper: 10 / 68)", ed.median, ed.mean);
+    println!(
+        "end-to-end       median {:>6.1}  mean {:>6.1}   (paper: 10 / 68)",
+        ed.median, ed.mean
+    );
 
     println!("\n— §4.2: Bottleneck 1 decomposition —");
     let fetches = report.fetches.len() as f64;
-    println!("impeded fetches (< 125 KBps)  {:>9.1}%   (paper: 28%)", 100.0 * report.impeded_ratio());
-    println!("  ISP barrier                 {:>9.1}%   (paper: 9.6%)", 100.0 * c.impeded_barrier as f64 / fetches);
-    println!("  low access bandwidth        {:>9.1}%   (paper: 10.8%)", 100.0 * c.impeded_low_access as f64 / fetches);
-    println!("  rejected (no upload bw)     {:>9.1}%   (paper: 1.5%)", 100.0 * report.rejection_ratio());
-    println!("  network dynamics/unknown    {:>9.1}%   (paper: 6.1%)", 100.0 * c.impeded_dynamics as f64 / fetches);
+    println!(
+        "impeded fetches (< 125 KBps)  {:>9.1}%   (paper: 28%)",
+        100.0 * report.impeded_ratio()
+    );
+    println!(
+        "  ISP barrier                 {:>9.1}%   (paper: 9.6%)",
+        100.0 * c.impeded_barrier as f64 / fetches
+    );
+    println!(
+        "  low access bandwidth        {:>9.1}%   (paper: 10.8%)",
+        100.0 * c.impeded_low_access as f64 / fetches
+    );
+    println!(
+        "  rejected (no upload bw)     {:>9.1}%   (paper: 1.5%)",
+        100.0 * report.rejection_ratio()
+    );
+    println!(
+        "  network dynamics/unknown    {:>9.1}%   (paper: 6.1%)",
+        100.0 * c.impeded_dynamics as f64 / fetches
+    );
 
     println!("\n— Fig 10: popularity vs failure ratio —");
     for (w, ratio) in report.failure_by_popularity.iter().take(10) {

@@ -8,10 +8,8 @@
 use odx::Study;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("request count"))
-        .unwrap_or(4000);
+    let n: usize =
+        std::env::args().nth(1).map(|s| s.parse().expect("request count")).unwrap_or(4000);
 
     println!("replaying {n} sampled requests through ODR …");
     let study = Study::generate(0.05, 623);
@@ -25,9 +23,8 @@ fn main() {
         100.0 * eval.impeded_ratio()
     );
     let peak = cloud.peak_burden_gbps();
-    let cap = odx::net::kbps_to_gbps(
-        odx::cloud::CloudConfig::at_scale(study.scale).scaled_upload_kbps(),
-    );
+    let cap =
+        odx::net::kbps_to_gbps(odx::cloud::CloudConfig::at_scale(study.scale).scaled_upload_kbps());
     let odr_peak = peak * eval.cloud_upload_fraction();
     println!(
         "B2 purchased/peak burden  {:>5.2}   →  {:>5.2}    (paper: 30/34 = 0.88 → 30/22 = 1.36)",
@@ -61,10 +58,12 @@ fn main() {
     let mut counts: Vec<_> = eval.decision_counts().into_iter().collect();
     counts.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     for (decision, count) in counts {
-        println!("  {:<18} {:>6}  ({:.1}%)", decision.to_string(), count, 100.0 * count as f64 / n as f64);
+        println!(
+            "  {:<18} {:>6}  ({:.1}%)",
+            decision.to_string(),
+            count,
+            100.0 * count as f64 / n as f64
+        );
     }
-    println!(
-        "\nincorrect redirections: {:.2}%   (paper: < 1%)",
-        100.0 * eval.incorrect_ratio()
-    );
+    println!("\nincorrect redirections: {:.2}%   (paper: < 1%)", 100.0 * eval.incorrect_ratio());
 }

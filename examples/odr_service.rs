@@ -2,7 +2,8 @@
 //! it with real HTTP requests.
 //!
 //! ```sh
-//! cargo run --release -p odx --example odr_service
+//! cargo run --release -p odx --example odr_service              # scripted demo
+//! cargo run --release -p odx --example odr_service -- --serve   # stay up for curl
 //! ```
 
 use odx::odr::OdrEngine;
@@ -30,18 +31,18 @@ fn main() {
     println!("GET /healthz           → {} {}", health.status, text(&health.body));
 
     // A popularity lookup for a real catalog file.
-    let hot = study
-        .catalog
-        .files()
-        .iter()
-        .max_by_key(|f| f.weekly_requests)
-        .expect("non-empty catalog");
+    let hot =
+        study.catalog.files().iter().max_by_key(|f| f.weekly_requests).expect("non-empty catalog");
     let pop = client::get(addr, &format!("/popularity/{}", hot.id)).expect("popularity");
     println!("GET /popularity/<hot>  → {} {}", pop.status, text(&pop.body));
 
     // Decisions for three user profiles requesting the hottest file.
     let profiles = [
-        ("fiber user, NTFS-flash Newifi", 2500.0, r#"{"model":"newifi","device":"usb-flash","fs":"ntfs"}"#),
+        (
+            "fiber user, NTFS-flash Newifi",
+            2500.0,
+            r#"{"model":"newifi","device":"usb-flash","fs":"ntfs"}"#,
+        ),
         ("DSL user, MiWiFi", 400.0, r#"{"model":"miwifi","device":"sata-hdd","fs":"ext4"}"#),
         ("rural user on a small ISP", 90.0, r#"{"model":"hiwifi","device":"sd","fs":"fat"}"#),
     ];
@@ -57,6 +58,23 @@ fn main() {
             "POST /decide ({label:<32}) → {}",
             v.get("decision").and_then(Json::as_str).unwrap_or("?")
         );
+    }
+
+    // The telemetry snapshot, over the same wire.
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let snapshot = Json::parse(&text(&metrics.body)).expect("metrics json");
+    let served = snapshot
+        .get("counters")
+        .and_then(|c| c.get("proto.requests"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!("GET /metrics           → {} ({served:.0} requests served so far)", metrics.status);
+
+    if std::env::args().any(|a| a == "--serve") {
+        println!("\nserving until Ctrl-C — try: curl http://{addr}/metrics");
+        loop {
+            std::thread::park();
+        }
     }
 
     server.shutdown();

@@ -57,12 +57,7 @@ fn main() {
             } else {
                 format!(
                     "(addresses {})",
-                    verdict
-                        .addresses
-                        .iter()
-                        .map(|b| b.to_string())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    verdict.addresses.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(", ")
                 )
             }
         );

@@ -10,10 +10,8 @@ use odx::smartap::{table2, ApModel};
 use odx::Study;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("request count"))
-        .unwrap_or(1000);
+    let n: usize =
+        std::env::args().nth(1).map(|s| s.parse().expect("request count")).unwrap_or(1000);
 
     println!("sampling {n} Unicom requests and replaying on three ADSL lines …");
     let study = Study::generate(0.05, 522);

@@ -17,10 +17,7 @@ fn identical_seeds_produce_identical_studies() {
     assert_eq!(ra.counters.predownload_failures, rb.counters.predownload_failures);
     assert_eq!(ra.counters.rejected_fetches, rb.counters.rejected_fetches);
     assert_eq!(ra.fetches.len(), rb.fetches.len());
-    assert_eq!(
-        ra.fetch_speed_ecdf().median().unwrap(),
-        rb.fetch_speed_ecdf().median().unwrap()
-    );
+    assert_eq!(ra.fetch_speed_ecdf().median().unwrap(), rb.fetch_speed_ecdf().median().unwrap());
 
     let oa = a.replay_odr(500);
     let ob = b.replay_odr(500);
@@ -54,8 +51,5 @@ fn subsystem_rng_streams_are_isolated() {
     let _cloud = study.replay_cloud();
     let ap_second = study.replay_smart_aps(300);
     assert_eq!(ap_first.failure_ratio(), ap_second.failure_ratio());
-    assert_eq!(
-        ap_first.speed_ecdf().median().unwrap(),
-        ap_second.speed_ecdf().median().unwrap()
-    );
+    assert_eq!(ap_first.speed_ecdf().median().unwrap(), ap_second.speed_ecdf().median().unwrap());
 }

@@ -64,14 +64,10 @@ fn popularity_endpoint_agrees_with_catalog() {
     let server = service.serve("127.0.0.1:0", 2).expect("bind");
 
     for file in study.catalog.files().iter().step_by(97).take(20) {
-        let resp =
-            client::get(server.addr(), &format!("/popularity/{}", file.id)).expect("lookup");
+        let resp = client::get(server.addr(), &format!("/popularity/{}", file.id)).expect("lookup");
         assert_eq!(resp.status, 200);
         let v = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-        assert_eq!(
-            v.get("class").and_then(Json::as_str),
-            Some(file.class().to_string().as_str())
-        );
+        assert_eq!(v.get("class").and_then(Json::as_str), Some(file.class().to_string().as_str()));
     }
     server.shutdown();
 }

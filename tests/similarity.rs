@@ -39,10 +39,7 @@ fn odr_fetch_cdf_dominates_cloud_fetch_cdf_through_the_body() {
     for q in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
         let c = cloud.quantile(q).unwrap();
         let o = odr.quantile(q).unwrap();
-        assert!(
-            o >= 0.85 * c,
-            "ODR q{q}: {o:.0} should not fall below cloud's {c:.0}"
-        );
+        assert!(o >= 0.85 * c, "ODR q{q}: {o:.0} should not fall below cloud's {c:.0}");
     }
     assert!(odr.median().unwrap() > cloud.median().unwrap());
 }

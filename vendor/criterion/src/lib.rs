@@ -1,0 +1,121 @@
+//! Offline stand-in for `criterion`: runs each benchmark closure a
+//! fixed number of times and reports the wall-clock mean. No warmup
+//! modelling, outlier analysis, or HTML reports — this exists so
+//! `cargo bench` compiles and produces smoke numbers offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark named `id` and print its mean time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { total_ns: 0, iters: 0 };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        bencher.report(id);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned() }
+    }
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of outer samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run `f` as the benchmark `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` over a small batch of iterations.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        const BATCH: u64 = 4;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(f());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += BATCH;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("bench {id:<40} (no iterations)");
+        } else {
+            let mean = self.total_ns / u128::from(self.iters);
+            println!("bench {id:<40} mean {mean} ns/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Define a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

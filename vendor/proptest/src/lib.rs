@@ -1,0 +1,752 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!`
+//! macros, range / tuple / `Just` / `any` strategies, `prop_map`,
+//! `prop_recursive`, `collection::{vec, btree_map}`, `option::of`,
+//! and char-class / `\PC` regex string strategies. Sampling is
+//! deterministic (case seeds derive from the test name); there is no
+//! shrinking and no failure persistence.
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+    /// `prop_assert*!` failed; the test fails with this message.
+    Fail(String),
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name.
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Per-run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Deterministic generator driving strategy sampling.
+pub mod test_runner {
+    /// A splitmix64 generator; one per generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Generator for `seed`.
+        pub fn new(seed: u64) -> TestRng {
+            let mut rng = TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn u01(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.below128(u128::from(n)) as u64
+        }
+
+        /// Uniform integer in `[0, n)` for widths up to 2^64.
+        pub fn below128(&mut self, n: u128) -> u128 {
+            if n == 0 {
+                return 0;
+            }
+            (u128::from(self.next_u64()) * n) >> 64
+        }
+    }
+}
+
+/// Strategies: composable value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a cloneable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        }
+
+        /// Build a recursive strategy: `f` maps the strategy-so-far to a
+        /// strategy one level deeper; applied `depth` times. The
+        /// `_desired_size` / `_expected_branch` hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = f(strat).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, cloneable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among type-erased arms ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end as i128).wrapping_sub(self.start as i128);
+                    assert!(width > 0, "empty range strategy");
+                    let off = rng.below128(width as u128) as i128;
+                    ((self.start as i128) + off) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let width = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    assert!(width > 0, "empty range strategy");
+                    let off = rng.below128(width as u128) as i128;
+                    ((*self.start() as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + (rng.u01() as $t) * (self.end - self.start);
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+    }
+
+    // -- regex-lite string strategies ------------------------------------
+
+    /// Printable pool backing the `\PC` (non-control char) pattern.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..=0x7E).map(char::from).collect();
+        pool.extend(['\u{00e9}', '\u{00df}', '\u{03a9}', '\u{20ac}', '\u{65cb}', '\u{2603}']);
+        pool
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse the `[class]` body starting after `[`; returns (pool, next index).
+    fn parse_class(chars: &[char], mut i: usize, pat: &str) -> (Vec<char>, usize) {
+        let mut pool = Vec::new();
+        let mut prev: Option<char> = None;
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            if c == '\\' {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in pattern {pat:?}");
+                let lit = unescape(chars[i]);
+                pool.push(lit);
+                prev = Some(lit);
+                i += 1;
+            } else if c == '-' && prev.is_some() && i + 1 < chars.len() && chars[i + 1] != ']' {
+                let lo = prev.take().unwrap() as u32;
+                i += 1;
+                let mut hi = chars[i];
+                if hi == '\\' {
+                    i += 1;
+                    hi = unescape(chars[i]);
+                }
+                i += 1;
+                for u in (lo + 1)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(u) {
+                        pool.push(ch);
+                    }
+                }
+            } else {
+                pool.push(c);
+                prev = Some(c);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated char class in pattern {pat:?}");
+        (pool, i + 1)
+    }
+
+    /// Parse a trailing `{m}` / `{m,n}` quantifier; defaults to `{1}`.
+    fn parse_quantifier(chars: &[char], i: usize, pat: &str) -> (usize, usize) {
+        if chars.get(i) != Some(&'{') {
+            assert!(i >= chars.len(), "unsupported pattern tail in {pat:?}");
+            return (1, 1);
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pat:?}"))
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((lo, hi)) => (lo, hi),
+            None => (body.as_str(), body.as_str()),
+        };
+        let lo: usize = lo.trim().parse().expect("bad quantifier lower bound");
+        let hi: usize = hi.trim().parse().expect("bad quantifier upper bound");
+        assert!(close + 1 >= chars.len(), "unsupported pattern tail in {pat:?}");
+        (lo, hi)
+    }
+
+    /// `&'static str` patterns act as string strategies for the subset
+    /// `[class]{m,n}` and `\PC{m,n}` this workspace uses.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let pat = *self;
+            let chars: Vec<char> = pat.chars().collect();
+            let (pool, i) = if chars.first() == Some(&'[') {
+                parse_class(&chars, 1, pat)
+            } else if pat.starts_with("\\PC") {
+                (printable_pool(), 3)
+            } else {
+                panic!(
+                    "unsupported pattern {pat:?}: vendored proptest supports \
+                     `[class]{{m,n}}` and `\\PC{{m,n}}` only"
+                );
+            };
+            assert!(!pool.is_empty(), "empty char class in pattern {pat:?}");
+            let (lo, hi) = parse_quantifier(&chars, i, pat);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| pool[rng.below(pool.len() as u64) as usize]).collect()
+        }
+    }
+
+    /// Strategy for [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+}
+
+/// `any::<T>()`: the canonical strategy for a type.
+pub mod arbitrary {
+    use crate::strategy::{Any, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.u01() * 2.0 - 1.0) * 1e15
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// `Vec` strategy: `size.sample()` draws from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `BTreeMap` strategy; key collisions may yield fewer entries.
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size: size.into() }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| (self.keys.sample(rng), self.values.sample(rng))).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Option<T>` strategy: `None` one time in four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Module-style access to strategy factories (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and one or more `fn name(arg in strategy, ...)`
+/// items carrying `#[test]` and doc attributes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases: u32 = __config.cases;
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __attempt: u64 = $crate::fnv1a(stringify!($name));
+            while __accepted < __cases {
+                __attempt = __attempt.wrapping_add(1);
+                let mut __rng = $crate::test_runner::TestRng::new(__attempt);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        ::std::assert!(
+                            __rejected < 10_000,
+                            "too many prop_assume! rejections in {}",
+                            stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        ::std::panic!(
+                            "proptest {} failed on case {} of {}: {}",
+                            stringify!($name),
+                            __accepted + 1,
+                            __cases,
+                            __msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Reject the current generated case (it is not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in -5i32..5, z in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in prop::collection::vec(0u8..10, 3..7)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn regex_class_subset(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "{}", s);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u32), (5u32..8).prop_map(|x| x * 10)]) {
+            prop_assert!(v == 1 || (50..80).contains(&v));
+        }
+
+        #[test]
+        fn printable_pool_has_no_controls(s in "\\PC{0,24}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_honored(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface this workspace uses: an
+//! object-safe [`Rng`] trait, the [`RngExt`] extension trait with
+//! `random()` / `random_iter()`, [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`] (a splitmix64-seeded xoshiro256**). The generator
+//! is deterministic and of high statistical quality, but its streams
+//! differ from upstream `rand`'s `StdRng`.
+
+use std::marker::PhantomData;
+
+/// An object-safe source of randomness.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high bits of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut iter = dest.chunks_exact_mut(8);
+        for chunk in &mut iter {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = iter.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (expanded internally).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types sampleable from the standard (uniform) distribution.
+pub trait StandardUniform: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience methods on any sized [`Rng`].
+pub trait RngExt: Rng + Sized {
+    /// One value of `T` from the standard distribution.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// An infinite iterator of `T` values, consuming the generator.
+    fn random_iter<T: StandardUniform>(self) -> RandomIter<Self, T> {
+        RandomIter { rng: self, _marker: PhantomData }
+    }
+}
+
+impl<R: Rng + Sized> RngExt for R {}
+
+/// Iterator returned by [`RngExt::random_iter`].
+#[derive(Debug, Clone)]
+pub struct RandomIter<R: Rng, T: StandardUniform> {
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<R: Rng, T: StandardUniform> Iterator for RandomIter<R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(T::sample(&mut self.rng))
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded by
+    /// splitmix64 expansion of a 64-bit seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro requires a nonzero state; splitmix64 output is zero
+            // for at most one lane, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = StdRng::seed_from_u64(7).random_iter().take(16).collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(7).random_iter().take(16).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = StdRng::seed_from_u64(1).random();
+        let b: u64 = StdRng::seed_from_u64(2).random();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn dyn_object_safe() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dynref: &mut dyn Rng = &mut rng;
+        let _ = dynref.next_u64();
+        let _ = dynref.next_u32();
+        let mut buf = [0u8; 13];
+        dynref.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`: a marker `Serialize` trait plus the
+//! no-op derive. Deriving compiles; nothing in the workspace
+//! serializes through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; every type implements it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
