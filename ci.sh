@@ -16,4 +16,14 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo doc --no-deps (warnings denied) =="
+# Document the repo's own crates; the vendored stand-ins under vendor/
+# are out of scope for the doc lint.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  $(sed -n 's|^name = "\(odx[a-z0-9-]*\)"|-p \1|p' crates/*/Cargo.toml)
+
+echo "== repro smoke: headline --scenario paper-default =="
+cargo run --release -p odx-bench --bin repro -- headline \
+  --scenario paper-default --scale 0.01 --sample 200
+
 echo "CI OK"

@@ -4,15 +4,18 @@
 //! requests are split across the APs (~333 each) and replayed sequentially
 //! (request *i+1* starts when request *i* completes or fails), with each
 //! AP's pre-download speed restricted to the sampled user's recorded access
-//! bandwidth.
+//! bandwidth. Every attempt runs through [`crate::SmartApBackend`] in its
+//! benchmark mode, so the harness exercises the same [`crate::ProxyBackend`]
+//! layer as the other evaluators.
 
 use odx_p2p::FailureCause;
 use odx_sim::{RngFactory, SimDuration};
+use odx_smartap::ApModel;
 use odx_stats::Ecdf;
 use odx_trace::{PopularityClass, SampledRequest};
 use serde::Serialize;
 
-use crate::{ApEngine, ApModel};
+use crate::{ApContext, CloudContentState, ExecCtx, ProxyBackend, ProxyRequest, SmartApBackend};
 
 /// One replayed task.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -126,31 +129,38 @@ impl ApBenchReport {
 pub struct SmartApBenchmark;
 
 impl SmartApBenchmark {
-    /// Replay `sample` across the three APs (request `i` goes to AP
-    /// `i mod 3`, preserving the ~333-per-AP split), restricted to each
-    /// request's recorded access bandwidth.
+    /// Replay `sample` across the three §5.1 benchmark APs (request `i`
+    /// goes to AP `i mod 3`, preserving the ~333-per-AP split), restricted
+    /// to each request's recorded access bandwidth.
     pub fn replay(sample: &[SampledRequest], rngs: &RngFactory) -> ApBenchReport {
-        let engines: Vec<ApEngine> = ApModel::ALL.iter().map(|&m| ApEngine::for_bench(m)).collect();
+        SmartApBenchmark::replay_fleet(sample, &ApContext::bench_fleet(), rngs)
+    }
+
+    /// Replay `sample` across an explicit AP fleet (the scenario layer's
+    /// entry point — e.g. the `usb3-aps` what-if swaps every box's storage).
+    pub fn replay_fleet(
+        sample: &[SampledRequest],
+        fleet: &[ApContext; 3],
+        rngs: &RngFactory,
+    ) -> ApBenchReport {
+        let mut backends: Vec<SmartApBackend> =
+            fleet.iter().map(|&ap| SmartApBackend::bench(ap)).collect();
+        let mut cloud = CloudContentState::new();
         let mut records = Vec::with_capacity(sample.len());
         for (i, req) in sample.iter().enumerate() {
-            let engine = &engines[i % engines.len()];
+            let slot = i % fleet.len();
             let mut rng = rngs.stream_indexed("smartap-bench", i as u64);
-            let file = odx_trace::FileMeta {
-                id: odx_trace::FileId(i as u128),
-                size_mb: req.size_mb,
-                ftype: req.file_type,
-                protocol: req.protocol,
-                weekly_requests: req.weekly_requests,
-            };
-            let out = engine.pre_download(&file, req.access_kbps, &mut rng);
+            let preq = ProxyRequest::from_sampled(req, false, Some(fleet[slot]));
+            let mut ctx = ExecCtx { rng: &mut rng, cloud: &mut cloud };
+            let out = backends[slot].execute(&preq, &mut ctx);
             records.push(ApTaskRecord {
-                ap: engine.model(),
+                ap: fleet[slot].model,
                 request: *req,
                 success: out.success,
                 cause: out.cause,
                 rate_kbps: out.rate_kbps,
                 duration: out.duration,
-                traffic_mb: out.traffic_mb,
+                traffic_mb: out.source_traffic_mb,
                 iowait: out.iowait,
                 storage_limited: out.storage_limited,
             });
@@ -241,6 +251,32 @@ mod tests {
         assert_eq!(
             a.records()[..50].iter().map(|r| r.rate_kbps).collect::<Vec<_>>(),
             b.records()[..50].iter().map(|r| r.rate_kbps).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn usb3_fleet_lifts_the_newifi_storage_cap() {
+        use odx_storage::{DeviceKind, FsKind};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(147);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let sample = sample_benchmark_workload(&workload, &catalog, &population, 6000, &mut rng);
+        let fleet = ApContext::bench_fleet().map(|c| ApContext {
+            device: DeviceKind::UsbHdd,
+            fs: FsKind::Ext4,
+            ..c
+        });
+        let stock = SmartApBenchmark::replay(&sample, &RngFactory::new(147));
+        let upgraded = SmartApBenchmark::replay_fleet(&sample, &fleet, &RngFactory::new(147));
+        assert!(
+            upgraded.max_speed_kbps(ApModel::Newifi) > stock.max_speed_kbps(ApModel::Newifi),
+            "USB-HDD/EXT4 should beat the stock NTFS flash drive"
+        );
+        assert!(
+            upgraded.storage_limited_fraction() <= stock.storage_limited_fraction(),
+            "upgraded fleet should hit the storage wall no more often"
         );
     }
 }

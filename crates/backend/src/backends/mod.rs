@@ -1,0 +1,20 @@
+//! The four proxy implementations of [`crate::ProxyBackend`].
+
+mod cloud;
+mod cloudap;
+mod smartap;
+mod userdevice;
+
+pub use cloud::CloudBackend;
+pub use cloudap::CloudAssistedApBackend;
+pub use smartap::SmartApBackend;
+pub use userdevice::UserDeviceBackend;
+
+use odx_stats::dist::LogNormal;
+
+/// The fetching-efficiency distribution every evaluation backend shares:
+/// real transfers achieve a log-normal fraction of the nominal path rate
+/// (median 95 %, clamped to 30–100 %).
+pub(crate) fn efficiency_dist() -> LogNormal {
+    LogNormal::from_median(0.95, 0.10)
+}

@@ -1,0 +1,224 @@
+//! Named experiment presets: one value that configures backends, workload
+//! tweaks, and the AP fleet. `repro --scenario NAME` resolves here.
+
+use odx_net::{Isp, IspMix};
+use odx_storage::{DeviceKind, FsKind};
+
+use crate::{ApContext, BackendConfig};
+
+/// One named experiment configuration.
+///
+/// A scenario bundles everything that distinguishes an experiment from the
+/// paper's baseline: backend tuning ([`BackendConfig`]), cloud-side feature
+/// flags (cache, privileged paths), workload scaling (user-base sweeps),
+/// ISP-mix overrides, and the smart-AP fleet under test. The evaluators
+/// take a scenario instead of a loose bag of flags, so every run is
+/// reproducible from its name.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Registry key (what `repro --scenario` takes).
+    pub name: &'static str,
+    /// One-line description shown by `repro list`.
+    pub summary: &'static str,
+    /// Backend tuning knobs.
+    pub backend: BackendConfig,
+    /// Whether the cloud's collaborative cache is enabled (the §4.3
+    /// ablation turns it off).
+    pub cache_enabled: bool,
+    /// Whether the cloud's privileged intra-ISP paths are enabled (the
+    /// §4.2 ablation turns them off).
+    pub privileged_paths: bool,
+    /// User-base multiplier: the cloud's per-user upload capacity shrinks
+    /// by this factor (the §4 what-if sweep).
+    pub demand_factor: f64,
+    /// Override for CERNET's share of the user population; the other ISPs'
+    /// shares are rescaled proportionally. `None` keeps the default mix.
+    pub cernet_share: Option<f64>,
+    /// The three-AP fleet used by the AP benchmark and ODR's round-robin
+    /// AP assignment.
+    pub ap_fleet: [ApContext; 3],
+}
+
+impl Scenario {
+    /// The paper's baseline configuration under `name`.
+    fn baseline(name: &'static str, summary: &'static str) -> Scenario {
+        Scenario {
+            name,
+            summary,
+            backend: BackendConfig::default(),
+            cache_enabled: true,
+            privileged_paths: true,
+            demand_factor: 1.0,
+            cernet_share: None,
+            ap_fleet: ApContext::bench_fleet(),
+        }
+    }
+
+    /// The population's ISP mix under this scenario: the default 2015 mix,
+    /// or — when [`Scenario::cernet_share`] is set — CERNET pinned to that
+    /// share with every other ISP rescaled proportionally (so the mix still
+    /// sums to 1).
+    pub fn isp_mix(&self) -> IspMix {
+        let mut mix = IspMix::default();
+        let Some(cernet) = self.cernet_share else { return mix };
+        let old_cernet: f64 =
+            mix.shares.iter().filter(|(isp, _)| *isp == Isp::Cernet).map(|(_, s)| s).sum();
+        let rescale = (1.0 - cernet) / (1.0 - old_cernet);
+        for (isp, share) in &mut mix.shares {
+            *share = if *isp == Isp::Cernet { cernet } else { *share * rescale };
+        }
+        mix
+    }
+}
+
+/// The built-in scenario presets.
+#[derive(Debug, Clone)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        ScenarioRegistry::builtin()
+    }
+}
+
+impl ScenarioRegistry {
+    /// The six built-in presets: the paper baseline, the three ablations
+    /// the repro harness always ran, and two new what-ifs.
+    pub fn builtin() -> ScenarioRegistry {
+        let mut cernet_heavy = Scenario::baseline(
+            "cernet-heavy",
+            "what-if: CERNET serves 30 % of users (campus-dominated population)",
+        );
+        cernet_heavy.cernet_share = Some(0.30);
+
+        let mut usb3_aps = Scenario::baseline(
+            "usb3-aps",
+            "what-if: every benchmark AP upgraded to a USB hard disk formatted EXT4",
+        );
+        usb3_aps.ap_fleet = ApContext::bench_fleet().map(|c| ApContext {
+            device: DeviceKind::UsbHdd,
+            fs: FsKind::Ext4,
+            ..c
+        });
+
+        let mut ablate_cache = Scenario::baseline(
+            "ablate-cache",
+            "ablation: cloud collaborative cache disabled (every request re-fetches)",
+        );
+        ablate_cache.cache_enabled = false;
+
+        let mut ablate_privileged = Scenario::baseline(
+            "ablate-privileged",
+            "ablation: privileged intra-ISP upload paths disabled (all fetches cross the barrier)",
+        );
+        ablate_privileged.privileged_paths = false;
+
+        let mut sweep_userbase = Scenario::baseline(
+            "sweep-userbase",
+            "stress: user base grown 1.5x with the same cloud upload capacity",
+        );
+        sweep_userbase.demand_factor = 1.5;
+
+        ScenarioRegistry {
+            scenarios: vec![
+                Scenario::baseline(
+                    "paper-default",
+                    "the paper's measured configuration (all headline numbers)",
+                ),
+                ablate_cache,
+                ablate_privileged,
+                sweep_userbase,
+                cernet_heavy,
+                usb3_aps,
+            ],
+        }
+    }
+
+    /// Look up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// All scenarios, in listing order (paper-default first).
+    pub fn all(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// All scenario names, in listing order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.scenarios.iter().map(|s| s.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_documented_preset() {
+        let reg = ScenarioRegistry::builtin();
+        for name in [
+            "paper-default",
+            "ablate-cache",
+            "ablate-privileged",
+            "sweep-userbase",
+            "cernet-heavy",
+            "usb3-aps",
+        ] {
+            assert!(reg.get(name).is_some(), "missing scenario {name}");
+        }
+        assert!(reg.get("no-such-scenario").is_none());
+        assert_eq!(reg.names()[0], "paper-default");
+    }
+
+    #[test]
+    fn paper_default_is_the_baseline() {
+        let reg = ScenarioRegistry::builtin();
+        let s = reg.get("paper-default").unwrap();
+        assert!(s.cache_enabled && s.privileged_paths);
+        assert_eq!(s.demand_factor, 1.0);
+        assert_eq!(s.backend, BackendConfig::default());
+        assert_eq!(s.ap_fleet, ApContext::bench_fleet());
+        let mix = s.isp_mix();
+        let total: f64 = mix.shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cernet_heavy_rescales_the_rest_of_the_mix() {
+        let reg = ScenarioRegistry::builtin();
+        let mix = reg.get("cernet-heavy").unwrap().isp_mix();
+        let cernet: f64 =
+            mix.shares.iter().filter(|(isp, _)| *isp == Isp::Cernet).map(|(_, s)| s).sum();
+        assert!((cernet - 0.30).abs() < 1e-12);
+        let total: f64 = mix.shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Relative proportions among the other ISPs are preserved.
+        let telecom = mix.shares.iter().find(|(i, _)| *i == Isp::Telecom).unwrap().1;
+        let unicom = mix.shares.iter().find(|(i, _)| *i == Isp::Unicom).unwrap().1;
+        assert!((telecom / unicom - 0.42 / 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usb3_fleet_keeps_models_but_swaps_storage() {
+        let reg = ScenarioRegistry::builtin();
+        let fleet = reg.get("usb3-aps").unwrap().ap_fleet;
+        for (ctx, stock) in fleet.iter().zip(ApContext::bench_fleet()) {
+            assert_eq!(ctx.model, stock.model);
+            assert_eq!(ctx.device, DeviceKind::UsbHdd);
+            assert_eq!(ctx.fs, FsKind::Ext4);
+        }
+    }
+
+    #[test]
+    fn ablations_flip_exactly_one_flag() {
+        let reg = ScenarioRegistry::builtin();
+        assert!(!reg.get("ablate-cache").unwrap().cache_enabled);
+        assert!(reg.get("ablate-cache").unwrap().privileged_paths);
+        assert!(!reg.get("ablate-privileged").unwrap().privileged_paths);
+        assert!(reg.get("ablate-privileged").unwrap().cache_enabled);
+        assert_eq!(reg.get("sweep-userbase").unwrap().demand_factor, 1.5);
+    }
+}

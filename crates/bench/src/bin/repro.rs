@@ -4,26 +4,31 @@
 //! ```sh
 //! cargo run --release -p odx-bench --bin repro -- all --scale 0.1
 //! cargo run --release -p odx-bench --bin repro -- fig8 fig9
-//! cargo run --release -p odx-bench --bin repro -- all --out out/
+//! cargo run --release -p odx-bench --bin repro -- headline --scenario ablate-cache
+//! cargo run --release -p odx-bench --bin repro -- list
 //! ```
 //!
 //! Commands: `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 headline fig13
 //! fig14 table2 fig15 fig16 fig17 ablate-cache ablate-privileged
 //! ablate-storage ablate-dedup ablate-ledbat ablate-concurrency sweep-userbase sweep-cache
-//! export-traces all`.
-//! (`export-traces` is opt-in — it is not part of `all`.)
+//! export-traces list all`.
+//! (`export-traces` is opt-in — it is not part of `all`; `list` prints the
+//! available commands and scenario presets.)
 //!
-//! `--scale` (default 0.1) sets the workload scale (1.0 = the paper's full
-//! 4.08 M-task week); `--seed` the master seed; `--sample` the §5.1/§6.2
-//! sample size (default 1000, the paper's); `--out DIR` additionally dumps
-//! each figure's plotted series as TSV; `--metrics FILE` writes the final
-//! telemetry-registry snapshot as JSON (byte-identical across same-seed
-//! runs of the same commands).
+//! `--scenario NAME` (default `paper-default`) resolves a preset from the
+//! scenario registry and applies it to workload generation and every
+//! replay. `--scale` (default 0.1) sets the workload scale (1.0 = the
+//! paper's full 4.08 M-task week); `--seed` the master seed; `--sample` the
+//! §5.1/§6.2 sample size (default 1000, the paper's); `--out DIR`
+//! additionally dumps each figure's plotted series as TSV; `--metrics FILE`
+//! writes the final telemetry-registry snapshot as JSON (byte-identical
+//! across same-seed runs of the same commands).
 
 use std::collections::BTreeSet;
 use std::io::Write;
 use std::path::PathBuf;
 
+use odx::backend::Scenario;
 use odx::cloud::{CloudConfig, WeekReport};
 use odx::net::kbps_to_gbps;
 use odx::odr::replay::OdrEvalReport;
@@ -34,8 +39,38 @@ use odx::storage::{DeviceKind, FsKind};
 use odx::Study;
 use odx_bench::{mmmm, rel, row};
 
+const COMMANDS: &[&str] = &[
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "headline",
+    "fig13",
+    "fig14",
+    "table2",
+    "fig15",
+    "fig16",
+    "fig17",
+    "ablate-cache",
+    "ablate-privileged",
+    "ablate-storage",
+    "ablate-dedup",
+    "ablate-ledbat",
+    "ablate-concurrency",
+    "sweep-userbase",
+    "sweep-cache",
+    "export-traces",
+    "list",
+    "all",
+];
+
 struct Options {
     commands: BTreeSet<String>,
+    scenario: Scenario,
     scale: f64,
     seed: u64,
     sample: usize,
@@ -43,8 +78,32 @@ struct Options {
     metrics: Option<PathBuf>,
 }
 
+/// Print the valid subcommands and scenario presets to `out`.
+fn print_usage(out: &mut dyn Write) {
+    let _ = writeln!(out, "subcommands:");
+    let _ = writeln!(out, "  {}", COMMANDS.join(" "));
+    let _ = writeln!(
+        out,
+        "flags: --scenario NAME --scale F --seed N --sample N --out DIR --metrics FILE"
+    );
+    let _ = writeln!(out, "scenarios (--scenario):");
+    for s in Study::scenarios().all() {
+        let _ = writeln!(out, "  {:<18} {}", s.name, s.summary);
+    }
+}
+
+/// Reject `what` with the usage listing on stderr and a non-zero exit.
+fn usage_error(what: &str) -> ! {
+    let mut err = std::io::stderr();
+    let _ = writeln!(err, "repro: unknown {what}");
+    print_usage(&mut err);
+    std::process::exit(2);
+}
+
 fn parse_args() -> Options {
+    let registry = Study::scenarios();
     let mut commands = BTreeSet::new();
+    let mut scenario = *registry.get("paper-default").expect("builtin baseline");
     let mut scale = 0.1;
     let mut seed = 2015;
     let mut sample = 1000;
@@ -53,34 +112,47 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--scenario" => {
+                let name = args.next().expect("--scenario value");
+                scenario = match registry.get(&name) {
+                    Some(s) => *s,
+                    None => usage_error(&format!("scenario `{name}`")),
+                };
+            }
             "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
             "--sample" => sample = args.next().expect("--sample value").parse().expect("sample"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
             "--metrics" => metrics = Some(PathBuf::from(args.next().expect("--metrics file"))),
-            cmd => {
+            flag if flag.starts_with('-') => usage_error(&format!("flag `{flag}`")),
+            cmd if COMMANDS.contains(&cmd) => {
                 commands.insert(cmd.to_owned());
             }
+            cmd => usage_error(&format!("subcommand `{cmd}`")),
         }
     }
     if commands.is_empty() {
         commands.insert("all".to_owned());
     }
-    Options { commands, scale, seed, sample, out, metrics }
+    Options { commands, scenario, scale, seed, sample, out, metrics }
 }
 
 fn main() {
     let opts = parse_args();
+    if opts.commands.contains("list") {
+        print_usage(&mut std::io::stdout());
+        return;
+    }
     let want = |c: &str| opts.commands.contains("all") || opts.commands.contains(c);
     println!(
-        "odx repro — scale {} seed {} sample {}  (paper: scale 1.0 = 4,084,417 tasks)",
-        opts.scale, opts.seed, opts.sample
+        "odx repro — scenario {} scale {} seed {} sample {}  (paper: scale 1.0 = 4,084,417 tasks)",
+        opts.scenario.name, opts.scale, opts.seed, opts.sample
     );
     if let Some(dir) = &opts.out {
         std::fs::create_dir_all(dir).expect("create --out dir");
     }
 
-    let study = Study::generate(opts.scale, opts.seed);
+    let study = Study::generate_scenario(opts.scale, opts.seed, &opts.scenario);
 
     if want("table1") {
         table1();
@@ -96,7 +168,7 @@ fn main() {
         ["fig8", "fig9", "fig10", "fig11", "headline", "fig16"].iter().any(|c| want(c))
             || want("ablate-cache")
             || want("ablate-privileged");
-    let cloud = needs_cloud.then(|| study.replay_cloud());
+    let cloud = needs_cloud.then(|| study.replay_cloud_scenario(&opts.scenario));
 
     if let Some(report) = &cloud {
         if want("fig8") {
@@ -117,7 +189,7 @@ fn main() {
     }
 
     let needs_ap = want("fig13") || want("fig14") || want("headline");
-    let aps = needs_ap.then(|| study.replay_smart_aps(opts.sample));
+    let aps = needs_ap.then(|| study.replay_smart_aps_scenario(opts.sample, &opts.scenario));
     if let Some(report) = &aps {
         if want("fig13") {
             fig13(report, &opts);
@@ -137,7 +209,7 @@ fn main() {
         fig15();
     }
     if want("fig16") || want("fig17") || want("headline") {
-        let eval = study.replay_odr(opts.sample);
+        let eval = study.replay_odr_scenario(opts.sample, &opts.scenario);
         if want("fig16") {
             fig16(cloud.as_ref(), &eval, opts.scale);
         }
@@ -429,7 +501,7 @@ fn headline(report: &WeekReport) {
     );
 }
 
-fn fig13(report: &odx::smartap::ApBenchReport, opts: &Options) {
+fn fig13(report: &odx::backend::ApBenchReport, opts: &Options) {
     section("Fig 13 — smart AP pre-downloading speed CDF (KBps)");
     let ecdf = report.speed_ecdf();
     println!("{}", row("all APs", "med 27 / mean 64", mmmm(&ecdf.summary().unwrap())));
@@ -443,14 +515,14 @@ fn fig13(report: &odx::smartap::ApBenchReport, opts: &Options) {
     dump_cdf(opts, "fig13_ap_speed_cdf.tsv", &ecdf);
 }
 
-fn fig14(report: &odx::smartap::ApBenchReport, opts: &Options) {
+fn fig14(report: &odx::backend::ApBenchReport, opts: &Options) {
     section("Fig 14 — smart AP pre-downloading delay CDF (minutes)");
     let ecdf = report.delay_ecdf();
     println!("{}", row("all APs", "med 77 / mean 402", mmmm(&ecdf.summary().unwrap())));
     dump_cdf(opts, "fig14_ap_delay_cdf.tsv", &ecdf);
 }
 
-fn ap_headline(report: &odx::smartap::ApBenchReport) {
+fn ap_headline(report: &odx::backend::ApBenchReport) {
     section("§5.2 headline statistics (smart APs)");
     println!(
         "{}",
@@ -662,9 +734,8 @@ fn fig17(eval: &OdrEvalReport, opts: &Options) {
 
 fn ablate_cache(study: &Study, baseline: &WeekReport) {
     section("Ablation — remove the cloud storage pool (§4.1 counterfactual)");
-    let mut cfg = CloudConfig::at_scale(study.scale);
-    cfg.cache_enabled = false;
-    let report = study.replay_cloud_with(cfg);
+    let scenario = *Study::scenarios().get("ablate-cache").expect("builtin preset");
+    let report = study.replay_cloud_scenario(&scenario);
     println!(
         "{}",
         row("failure ratio with pool", "8.7%", format!("{:.1}%", 100.0 * baseline.failure_ratio()))
@@ -681,9 +752,8 @@ fn ablate_cache(study: &Study, baseline: &WeekReport) {
 
 fn ablate_privileged(study: &Study, baseline: &WeekReport) {
     section("Ablation — disable privileged-path construction");
-    let mut cfg = CloudConfig::at_scale(study.scale);
-    cfg.privileged_paths_enabled = false;
-    let report = study.replay_cloud_with(cfg);
+    let scenario = *Study::scenarios().get("ablate-privileged").expect("builtin preset");
+    let report = study.replay_cloud_scenario(&scenario);
     println!(
         "{}",
         row(
@@ -892,12 +962,13 @@ fn ablate_ledbat(study: &Study) {
 fn sweep_userbase(study: &Study) {
     section("Extension — user-base growth vs fetch rejections (Bottleneck 2's trend)");
     println!("  demand grows while the purchased 30 Gbps (scaled) stays fixed:");
+    let preset = *Study::scenarios().get("sweep-userbase").expect("builtin preset");
     for factor in [1.0_f64, 1.25, 1.5, 2.0] {
-        let mut cfg = CloudConfig::at_scale(study.scale);
         // Same workload, proportionally less capacity = proportionally more
         // demand per unit capacity.
-        cfg.upload_total_kbps /= factor;
-        let report = study.replay_cloud_with(cfg);
+        let mut scenario = preset;
+        scenario.demand_factor = factor;
+        let report = study.replay_cloud_scenario(&scenario);
         println!(
             "  demand ×{factor:<4} → rejected {:>5.2}%   impeded {:>5.1}%",
             100.0 * report.rejection_ratio(),

@@ -34,7 +34,9 @@ pub struct CloudConfig {
     /// paper's unexplained 6.1 % slice of Bottleneck 1.
     pub dynamics_probability: f64,
     /// Failure-probability decay per prior failed attempt on the same file
-    /// (seed churn: dead swarms revive between attempts).
+    /// (seed churn: dead swarms revive between attempts). Defaults to the
+    /// shared [`odx_backend::BackendConfig`] value so the week replay and
+    /// the one-shot evaluators decay retries identically.
     pub retry_decay: f64,
     /// Ablation: disable the storage pool entirely (the paper's "assume the
     /// cloud storage pool does not exist" counterfactual, §4.1).
@@ -57,7 +59,7 @@ impl Default for CloudConfig {
             warm_cache_pivot: 5.5,
             admission_floor_kbps: 25.0,
             dynamics_probability: 0.14,
-            retry_decay: 0.97,
+            retry_decay: odx_backend::BackendConfig::default().retry_decay,
             cache_enabled: true,
             privileged_paths_enabled: true,
         }

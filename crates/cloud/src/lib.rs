@@ -25,6 +25,7 @@
 //! 4.08 M tasks; capacities (upload bandwidth, cache bytes) scale linearly so
 //! the congestion behaviour (Bottleneck 2) is scale-invariant.
 
+mod backend;
 mod cache;
 mod config;
 mod content_db;
@@ -35,6 +36,7 @@ pub mod streaming;
 mod system;
 mod upload;
 
+pub use backend::CloudWeekBackend;
 pub use cache::LruCache;
 pub use config::CloudConfig;
 pub use content_db::{ContentDb, FileState};

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use odx_net::{Isp, HD_THRESHOLD_KBPS};
-use odx_p2p::{FailureCause, HttpFtpModel, SwarmModel};
+use odx_p2p::FailureCause;
 use odx_sim::{Ctx, RngFactory, SimDuration, SimRng, SimTime, Simulation, World};
 use odx_stats::dist::u01;
 use odx_stats::{BinnedSeries, Ecdf};
@@ -16,9 +16,7 @@ use odx_telemetry::{Counter, HistogramHandle, Registry};
 use odx_trace::records::{FetchRecord, PredownloadRecord};
 use odx_trace::{Catalog, PopularityClass, Population, Workload};
 
-use crate::{
-    CloudConfig, ContentDb, FetchModel, LruCache, PredownloadModel, PredownloadOutcome, UploadPool,
-};
+use crate::{CloudConfig, CloudWeekBackend, ContentDb, LruCache, PredownloadOutcome};
 
 /// End-to-end view of one completed offline-downloading task (§4.3): total
 /// delay is pre-downloading delay plus fetching delay.
@@ -230,9 +228,6 @@ struct CloudMetrics {
     predownload_success: Counter,
     predownload_stagnation: Counter,
     failures_by_cause: [Counter; 3],
-    upload_admit: [Counter; 4],
-    upload_cross_isp: Counter,
-    upload_reject: Counter,
     fetch_completed: Counter,
     fetch_impeded: Counter,
     fetch_rate_kbps: HistogramHandle,
@@ -241,9 +236,6 @@ struct CloudMetrics {
 
 impl CloudMetrics {
     fn new(registry: &Registry) -> CloudMetrics {
-        let admit = |isp: Isp| {
-            registry.counter(&format!("cloud.upload.admit.{}", isp.to_string().to_lowercase()))
-        };
         CloudMetrics {
             requests: registry.counter("cloud.requests"),
             cache_hit: registry.counter("cloud.cache.hit"),
@@ -256,14 +248,6 @@ impl CloudMetrics {
                 registry.counter("cloud.predownload.fail.connection"),
                 registry.counter("cloud.predownload.fail.bug"),
             ],
-            upload_admit: [
-                admit(Isp::Unicom),
-                admit(Isp::Telecom),
-                admit(Isp::Mobile),
-                admit(Isp::Cernet),
-            ],
-            upload_cross_isp: registry.counter("cloud.upload.cross_isp"),
-            upload_reject: registry.counter("cloud.upload.reject"),
             fetch_completed: registry.counter("cloud.fetch.completed"),
             fetch_impeded: registry.counter("cloud.fetch.impeded"),
             fetch_rate_kbps: registry.histogram("cloud.fetch.rate_kbps"),
@@ -280,11 +264,7 @@ pub struct XuanfengCloud<'a> {
     workload: &'a Workload,
     db: ContentDb,
     pool_cache: LruCache<u32>,
-    upload: UploadPool,
-    predl: PredownloadModel,
-    fetch: FetchModel,
-    rng_source: SimRng,
-    rng_fetch: SimRng,
+    backend: CloudWeekBackend,
     rng_think: SimRng,
     pending: HashMap<u32, Pending>,
     pd_delay_ms: Vec<u64>,
@@ -319,10 +299,7 @@ impl<'a> XuanfengCloud<'a> {
                 pool_cache.insert(idx, catalog.file(idx).size_mb);
             }
         }
-        let upload =
-            UploadPool::new(cfg.scaled_upload_kbps(), cfg.upload_split, cfg.admission_floor_kbps);
-        let predl = PredownloadModel::new(SwarmModel::default(), HttpFtpModel::default(), &cfg);
-        let fetch = FetchModel::new(&cfg);
+        let backend = CloudWeekBackend::new(&cfg, rngs);
         let horizon_secs = (odx_trace::WEEK + SimDuration::from_days(2)).as_secs_f64();
         XuanfengCloud {
             cfg,
@@ -331,11 +308,7 @@ impl<'a> XuanfengCloud<'a> {
             workload,
             db,
             pool_cache,
-            upload,
-            predl,
-            fetch,
-            rng_source: rngs.stream("cloud-source"),
-            rng_fetch: rngs.stream("cloud-fetch"),
+            backend,
             rng_think: rngs.stream("cloud-think"),
             pending: HashMap::new(),
             pd_delay_ms: vec![0; workload.len()],
@@ -382,6 +355,7 @@ impl<'a> XuanfengCloud<'a> {
     ) -> WeekReport {
         let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
         world.metrics = CloudMetrics::new(registry);
+        world.backend.rebind_metrics(registry);
         let mut sim = Simulation::new(world);
         sim.attach_telemetry(registry.clone());
         for (i, r) in workload.requests().iter().enumerate() {
@@ -466,20 +440,7 @@ impl<'a> XuanfengCloud<'a> {
         let request = &self.workload.requests()[req as usize];
         let user = self.population.user(request.user);
         let file = self.catalog.file(request.file);
-        let plan_isp = if self.cfg.privileged_paths_enabled { user.isp } else { Isp::Other };
-        let plan_user = odx_trace::User { isp: plan_isp, ..*user };
-        let plan = self.fetch.plan(&plan_user, &mut self.upload, &mut self.rng_fetch);
-        match plan.admission.server_isp() {
-            Some(isp) => {
-                if let Some(i) = isp.major_index() {
-                    self.metrics.upload_admit[i].inc();
-                }
-                if plan.crossed_barrier {
-                    self.metrics.upload_cross_isp.inc();
-                }
-            }
-            None => self.metrics.upload_reject.inc(),
-        }
+        let plan = self.backend.plan_fetch(user);
 
         let now = ctx.now();
         if plan.rate_kbps <= 0.0 {
@@ -573,13 +534,7 @@ impl World for XuanfengCloud<'_> {
                     self.metrics.cache_miss.inc();
                     let file = self.catalog.file(file_idx);
                     let prior = self.db.state(file_idx).failed_attempts;
-                    let outcome = self.predl.attempt_with_history(
-                        file,
-                        f64::INFINITY,
-                        prior,
-                        self.cfg.retry_decay,
-                        &mut self.rng_source,
-                    );
+                    let outcome = self.backend.predownload(file, prior);
                     self.db.state_mut(file_idx).in_flight = true;
                     ctx.schedule_in(outcome.duration(), Ev::PredlDone { file: file_idx });
                     self.pending.insert(file_idx, Pending { outcome, waiters: vec![(req, now)] });
@@ -611,7 +566,7 @@ impl World for XuanfengCloud<'_> {
                                 traffic_mb: if i == 0 { traffic_mb } else { 0.0 },
                                 cache_hit: i != 0,
                                 avg_kbps: if i == 0 { rate_kbps } else { 0.0 },
-                                peak_kbps: rate_kbps * (1.1 + 0.3 * u01(&mut self.rng_source)),
+                                peak_kbps: rate_kbps * self.backend.predl_peak_factor(),
                                 success: true,
                                 failure_cause: None,
                             });
@@ -653,7 +608,7 @@ impl World for XuanfengCloud<'_> {
             Ev::FetchBegin { req } => self.begin_fetch(ctx, req),
             Ev::FetchEnd { req, server_isp, reserved_kbps, rate_kbps, began } => {
                 if let Some(isp) = server_isp {
-                    self.upload.release(isp, reserved_kbps);
+                    self.backend.release(isp, reserved_kbps);
                 }
                 let now = ctx.now();
                 let request = &self.workload.requests()[req as usize];
@@ -663,6 +618,7 @@ impl World for XuanfengCloud<'_> {
                 self.counters.completed_fetches += 1;
                 self.metrics.fetch_completed.inc();
                 self.metrics.fetch_rate_kbps.record_f64(rate_kbps);
+                self.backend.note_fetched(rate_kbps, acquired_mb);
                 self.fetches.push(FetchRecord {
                     user_id: request.user,
                     isp: user.isp,
@@ -672,7 +628,7 @@ impl World for XuanfengCloud<'_> {
                     acquired_mb,
                     traffic_mb: acquired_mb * 1.085,
                     avg_kbps: rate_kbps,
-                    peak_kbps: rate_kbps * (1.05 + 0.25 * u01(&mut self.rng_fetch)),
+                    peak_kbps: rate_kbps * self.backend.fetch_peak_factor(),
                     rejected: false,
                 });
                 self.end_to_end.push(EndToEnd {

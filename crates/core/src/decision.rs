@@ -1,39 +1,13 @@
 //! Request context and decision types.
 
 use odx_net::Isp;
-use odx_smartap::ApModel;
-use odx_storage::{DeviceKind, FsKind};
 use odx_trace::{PopularityClass, Protocol};
 use serde::Serialize;
 use std::fmt;
 
 use crate::Bottleneck;
 
-/// The user's smart AP, as reported through ODR's web form (§6.1 asks for
-/// "smart AP type, storage device and filesystem type").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
-pub struct ApContext {
-    /// AP product.
-    pub model: ApModel,
-    /// Attached storage device.
-    pub device: DeviceKind,
-    /// Filesystem on that device.
-    pub fs: FsKind,
-}
-
-impl ApContext {
-    /// The benchmark configuration of a given AP model.
-    pub fn bench(model: ApModel) -> Self {
-        let s = model.bench_storage();
-        ApContext { model, device: s.device, fs: s.fs }
-    }
-
-    /// The highest pre-download rate this AP sustains when the network
-    /// offers `offered_kbps`.
-    pub fn storage_capped_kbps(&self, offered_kbps: f64) -> f64 {
-        odx_storage::effective_rate_kbps(self.device, self.fs, self.model.cpu_mhz(), offered_kbps)
-    }
-}
+pub use odx_backend::ApContext;
 
 /// Everything ODR knows about one request: the file's popularity (from the
 /// content-DB query) and the user's auxiliary information (from the web
@@ -99,14 +73,6 @@ pub struct Verdict {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bench_context_matches_ap_storage() {
-        let ctx = ApContext::bench(ApModel::Newifi);
-        assert_eq!(ctx.device, DeviceKind::UsbFlash);
-        assert_eq!(ctx.fs, FsKind::Ntfs);
-        assert!((ctx.storage_capped_kbps(2370.0) - 959.0).abs() < 10.0);
-    }
 
     #[test]
     fn decisions_display() {

@@ -1,61 +1,31 @@
 //! The §6.2 evaluation: replay a sampled workload through ODR.
 //!
-//! Every task is routed by the [`OdrEngine`] and its outcome simulated with
-//! the *same* source/network/storage models the baseline systems use, so
-//! differences are attributable to the redirection policy alone. The report
-//! carries both the ODR-side measurements and an embedded all-AP baseline
-//! over the identical sample (the all-cloud baseline is the §4 week replay
-//! in `odx-cloud`).
+//! Every task is routed by the [`OdrEngine`] and then executed by the
+//! matching `odx-backend` proxy ([`UserDeviceBackend`], [`CloudBackend`],
+//! [`SmartApBackend`], [`CloudAssistedApBackend`]) — the *same* execution
+//! layer the baseline systems use, so differences are attributable to the
+//! redirection policy alone. The report carries both the ODR-side
+//! measurements and an embedded all-AP baseline over the identical sample
+//! (the all-cloud baseline is the §4 week replay in `odx-cloud`).
 
 use std::collections::HashMap;
 
-use odx_net::{BarrierModel, HD_THRESHOLD_KBPS};
-use odx_p2p::{HttpFtpModel, SwarmModel};
+use odx_backend::{
+    ApBenchReport, CloudAssistedApBackend, CloudBackend, CloudContentState, ExecCtx, ProxyBackend,
+    ProxyRequest, SmartApBackend, SmartApBenchmark, UserDeviceBackend,
+};
+use odx_net::HD_THRESHOLD_KBPS;
 use odx_sim::RngFactory;
-use odx_smartap::{ApBenchReport, ApModel, SmartApBenchmark};
-use odx_stats::dist::{u01, Dist, LogNormal};
 use odx_stats::Ecdf;
 use odx_trace::{PopularityClass, SampledRequest};
-use rand::Rng;
 use serde::Serialize;
 
 use crate::decision::{ApContext, Decision, OdrRequest, Verdict};
 use crate::OdrEngine;
 
-/// Evaluation knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct ReplayConfig {
-    /// Probability that residual network dynamics degrade a fetch — what is
-    /// left of Bottleneck 1 after redirection (§6.2: "the remainder (9 %)
-    /// is mostly due to the intrinsic dynamics of the Internet").
-    pub dynamics_probability: f64,
-    /// Warm-cache pivot: a file with `w` weekly requests is already cached
-    /// with probability `w/(w+pivot)`. Lower than the week replay's pivot:
-    /// the production pool has accumulated content for years, not one week.
-    pub warm_cache_pivot: f64,
-    /// Failure-probability decay per failed attempt (same as the cloud).
-    pub retry_decay: f64,
-    /// Fleet-level retry factor: the production cloud schedules a request
-    /// across many pre-downloader VMs (and keeps trying until the 1-hour
-    /// stagnation rule) before reporting a user-visible failure, so its
-    /// per-request failure probability sits below a single attempt's.
-    pub cloud_retry_factor: f64,
-    /// Payload cap of the evaluation environment's ADSL lines (KBps):
-    /// Fig 17's 2.37 MBps maximum.
-    pub line_payload_kbps: f64,
-}
-
-impl Default for ReplayConfig {
-    fn default() -> Self {
-        ReplayConfig {
-            dynamics_probability: 0.09,
-            warm_cache_pivot: 2.5,
-            retry_decay: 0.97,
-            cloud_retry_factor: 0.75,
-            line_payload_kbps: 2370.0,
-        }
-    }
-}
+/// Evaluation knobs — the shared backend configuration, re-exported under
+/// its historical name (the §6.2 defaults are `BackendConfig::default()`).
+pub use odx_backend::BackendConfig as ReplayConfig;
 
 /// One evaluated task.
 #[derive(Debug, Clone, Serialize)]
@@ -173,14 +143,12 @@ impl OdrEvalReport {
     }
 }
 
-/// The replay driver.
+/// The replay driver: routes each task with the [`OdrEngine`], then hands
+/// it to the corresponding proxy backend.
 pub struct OdrReplay {
     engine: OdrEngine,
     cfg: ReplayConfig,
-    swarm: SwarmModel,
-    http: HttpFtpModel,
-    barrier: BarrierModel,
-    efficiency: LogNormal,
+    fleet: [ApContext; 3],
 }
 
 impl Default for OdrReplay {
@@ -190,27 +158,39 @@ impl Default for OdrReplay {
 }
 
 impl OdrReplay {
-    /// A replay with explicit engine and config.
+    /// A replay with explicit engine and config, over the §6.2 bench fleet.
     pub fn new(engine: OdrEngine, cfg: ReplayConfig) -> Self {
-        OdrReplay {
-            engine,
-            cfg,
-            swarm: SwarmModel::default(),
-            http: HttpFtpModel::default(),
-            barrier: BarrierModel::default(),
-            efficiency: LogNormal::from_median(0.95, 0.10),
-        }
+        OdrReplay::with_fleet(engine, cfg, ApContext::bench_fleet())
+    }
+
+    /// A replay whose round-robin AP assignment draws from an explicit
+    /// fleet (the scenario layer's entry point).
+    pub fn with_fleet(engine: OdrEngine, cfg: ReplayConfig, fleet: [ApContext; 3]) -> Self {
+        OdrReplay { engine, cfg, fleet }
+    }
+
+    /// The replay a scenario preset describes: default engine, the
+    /// scenario's backend config and AP fleet.
+    pub fn for_scenario(scenario: &odx_backend::Scenario) -> Self {
+        OdrReplay::with_fleet(OdrEngine::default(), scenario.backend, scenario.ap_fleet)
     }
 
     /// Replay `sample` through ODR. Tasks are assigned APs round-robin over
-    /// the three benchmark boxes (the §6.2 environment).
+    /// the replay's fleet (the §6.2 environment uses the three benchmark
+    /// boxes).
     pub fn run(&self, sample: &[SampledRequest], rngs: &RngFactory) -> OdrEvalReport {
-        // Per-file cloud state shared across the replay: cached files and
-        // failed-attempt counts (the collaborative cache at work).
-        let mut cached: HashMap<u32, bool> = HashMap::new();
-        let mut failed_attempts: HashMap<u32, u32> = HashMap::new();
+        // Per-file cloud state shared across the replay — the collaborative
+        // cache and retry history every cloud-side backend reads and writes.
+        let mut cloud_state = CloudContentState::new();
         let mut warm_rng = rngs.stream("odr-warm");
         let mut tasks = Vec::with_capacity(sample.len());
+
+        // One backend per proxy; every task executes through the
+        // ProxyBackend trait.
+        let mut user_device = UserDeviceBackend::new(self.cfg);
+        let mut cloud = CloudBackend::new(self.cfg);
+        let mut smart_ap = SmartApBackend::hot_relay(self.cfg);
+        let mut cloud_ap = CloudAssistedApBackend::new(self.cfg);
 
         // Per-proxy decision and bottleneck-detector counters, with
         // handles resolved once per replay rather than once per task.
@@ -235,11 +215,13 @@ impl OdrReplay {
 
         for (i, req) in sample.iter().enumerate() {
             let mut rng = rngs.stream_indexed("odr-task", i as u64);
-            let ap = ApContext::bench(ApModel::ALL[i % 3]);
-            let w = f64::from(req.weekly_requests);
-            let is_cached = *cached
-                .entry(req.file_index)
-                .or_insert_with(|| u01(&mut warm_rng) < w / (w + self.cfg.warm_cache_pivot));
+            let ap = self.fleet[i % self.fleet.len()];
+            let is_cached = cloud_state.warm_cached(
+                req.file_index,
+                req.weekly_requests,
+                self.cfg.warm_cache_pivot,
+                &mut warm_rng,
+            );
             let odr_req = OdrRequest {
                 popularity: req.class(),
                 protocol: req.protocol,
@@ -260,131 +242,39 @@ impl OdrReplay {
                     c.inc();
                 }
             }
-            let task =
-                self.simulate(req, &odr_req, verdict, &mut cached, &mut failed_attempts, &mut rng);
-            if !task.success {
+
+            let proxy_req = ProxyRequest::from_sampled(req, is_cached, Some(ap));
+            // Cloud and CloudPredownload are the cached/uncached faces of
+            // the same proxy; CloudBackend branches on `cached_in_cloud`,
+            // which the engine guarantees matches the decision.
+            let backend: &mut dyn ProxyBackend = match verdict.decision {
+                Decision::UserDevice => &mut user_device,
+                Decision::SmartAp => &mut smart_ap,
+                Decision::Cloud | Decision::CloudPredownload => &mut cloud,
+                Decision::CloudThenSmartAp => &mut cloud_ap,
+            };
+            let mut ctx = ExecCtx { rng: &mut rng, cloud: &mut cloud_state };
+            let out = backend.execute(&proxy_req, &mut ctx);
+            if !out.success {
                 failures_counter.inc();
             }
-            tasks.push(task);
+            tasks.push(OdrTask {
+                request: *req,
+                verdict,
+                success: out.success,
+                fetch_kbps: out.rate_kbps,
+                cloud_upload_mb: out.cloud_upload_mb,
+                storage_limited: out.storage_limited,
+                b4_at_risk: crate::Bottleneck::b4_at_risk(&odr_req),
+            });
         }
 
-        // Baselines over the identical sample.
-        let baseline_ap = SmartApBenchmark::replay(sample, &rngs.child("odr-baseline-ap"));
+        // Baselines over the identical sample (and the identical fleet).
+        let baseline_ap =
+            SmartApBenchmark::replay_fleet(sample, &self.fleet, &rngs.child("odr-baseline-ap"));
         let baseline_cloud_upload_mb = sample.iter().map(|r| r.size_mb).sum();
 
         OdrEvalReport { tasks, baseline_ap, baseline_cloud_upload_mb }
-    }
-
-    fn simulate(
-        &self,
-        req: &SampledRequest,
-        odr_req: &OdrRequest,
-        verdict: Verdict,
-        cached: &mut HashMap<u32, bool>,
-        failed_attempts: &mut HashMap<u32, u32>,
-        rng: &mut dyn Rng,
-    ) -> OdrTask {
-        let w = f64::from(req.weekly_requests);
-        let eff = self.efficiency.sample(rng).clamp(0.3, 1.0);
-        let line = self.cfg.line_payload_kbps;
-
-        let mut cloud_mb = 0.0;
-        let mut storage_limited = false;
-        let (success, mut rate) = match verdict.decision {
-            Decision::UserDevice => match self.swarm.direct_attempt(w, rng) {
-                odx_p2p::SourceOutcome::Serving { rate_kbps } => {
-                    (true, rate_kbps.min(req.access_kbps * eff).min(line))
-                }
-                odx_p2p::SourceOutcome::Failed { .. } => (false, 0.0),
-            },
-            Decision::SmartAp => {
-                let source = self.swarm.direct_attempt(w, rng);
-                match source {
-                    odx_p2p::SourceOutcome::Serving { rate_kbps } => {
-                        let offered = rate_kbps.min(req.access_kbps * eff).min(line);
-                        let ap = odr_req.ap.expect("smart-ap decision implies an AP");
-                        let achieved = ap.storage_capped_kbps(offered);
-                        storage_limited = achieved < offered - 1e-9;
-                        (true, achieved)
-                    }
-                    odx_p2p::SourceOutcome::Failed { .. } => (false, 0.0),
-                }
-            }
-            Decision::Cloud => {
-                cloud_mb = req.size_mb;
-                (true, req.access_kbps.mul_add(eff, 0.0).min(line))
-            }
-            Decision::CloudThenSmartAp => {
-                // The AP fetches from the cloud over the full ADSL line via
-                // a privileged path (the AP's line, not the user's
-                // constrained one), then serves the user over the LAN.
-                cloud_mb = req.size_mb;
-                let ap = odr_req.ap.expect("relay decision implies an AP");
-                let offered = line * eff;
-                let achieved = ap.storage_capped_kbps(offered);
-                // Storage "harm" only if the AP delivers less than the
-                // user's own impeded path would have — for these users the
-                // relay is a strict improvement even through a slow disk.
-                let own_path = req.access_kbps * eff;
-                storage_limited = achieved < own_path.min(offered) - 1e-9;
-                (true, achieved)
-            }
-            Decision::CloudPredownload => {
-                // The cloud pre-downloads with its retry history, then the
-                // user fetches as in the Cloud case.
-                let prior = failed_attempts.get(&req.file_index).copied().unwrap_or(0);
-                let base_p = if req.protocol.is_p2p() {
-                    self.swarm.failure_probability(w)
-                } else {
-                    self.http.failure_probability(w)
-                };
-                let p = base_p
-                    * self.cfg.retry_decay.powi(prior.min(30) as i32)
-                    * self.cfg.cloud_retry_factor;
-                if u01(rng) < p {
-                    *failed_attempts.entry(req.file_index).or_insert(0) += 1;
-                    (false, 0.0)
-                } else {
-                    cached.insert(req.file_index, true);
-                    cloud_mb = req.size_mb;
-                    // §6.1 Case 2: once notified, the user asks ODR again —
-                    // B1-at-risk users then fetch through the cloud→AP
-                    // relay, everyone else straight from the cloud.
-                    if let (true, Some(ap)) = (crate::Bottleneck::b1_at_risk(odr_req), odr_req.ap) {
-                        (true, ap.storage_capped_kbps(line * eff))
-                    } else {
-                        (true, (req.access_kbps * eff).min(line))
-                    }
-                }
-            }
-        };
-
-        // Residual Internet dynamics hit every path; users outside the four
-        // major ISPs still cross the barrier when fetching from the cloud
-        // *directly* (the relay exists precisely to avoid this).
-        if success && u01(rng) < self.cfg.dynamics_probability {
-            rate *= 0.05 + 0.45 * u01(rng);
-        }
-        let relayed_after_predownload = verdict.decision == Decision::CloudPredownload
-            && crate::Bottleneck::b1_at_risk(odr_req)
-            && odr_req.ap.is_some();
-        if success
-            && !odr_req.isp.is_major()
-            && !relayed_after_predownload
-            && matches!(verdict.decision, Decision::Cloud | Decision::CloudPredownload)
-        {
-            rate = rate.min(self.barrier.sample(rng));
-        }
-
-        OdrTask {
-            request: *req,
-            verdict,
-            success,
-            fetch_kbps: if success { rate } else { 0.0 },
-            cloud_upload_mb: cloud_mb,
-            storage_limited,
-            b4_at_risk: crate::Bottleneck::b4_at_risk(odr_req),
-        }
     }
 }
 

@@ -50,6 +50,12 @@ pub const CLOUD_FETCH_CAP_KBPS: f64 = 6250.0;
 /// The benchmark ADSL lines used in §5.1: 20 Mbps down.
 pub const ADSL_LINK_KBPS: f64 = 2500.0;
 
+/// Maximum *payload* rate ever observed on one of those 20 Mbps lines:
+/// 2.37 MBps, the ceiling of the Fig 13 and Fig 17 speed CDFs (the link
+/// rate less framing/TCP overhead). Every per-download rate cap in the
+/// workspace derives from this single constant.
+pub const ADSL_PAYLOAD_KBPS: f64 = 2370.0;
+
 /// Convert Mbps (megabits/s) to KBps (kilobytes/s).
 pub fn mbps_to_kbps(mbps: f64) -> f64 {
     mbps * 125.0

@@ -23,6 +23,7 @@
 //! The crate-level view of the system lives in `DESIGN.md`; the
 //! paper-vs-measured ledger in `EXPERIMENTS.md`.
 
+pub use odx_backend as backend;
 pub use odx_cloud as cloud;
 pub use odx_net as net;
 pub use odx_odr as odr;
@@ -35,10 +36,10 @@ pub use odx_storage as storage;
 pub use odx_telemetry as telemetry;
 pub use odx_trace as trace;
 
+use odx_backend::{ApBenchReport, Scenario, ScenarioRegistry, SmartApBenchmark};
 use odx_cloud::{CloudConfig, WeekReport, XuanfengCloud};
 use odx_odr::replay::{OdrEvalReport, OdrReplay};
 use odx_sim::RngFactory;
-use odx_smartap::{ApBenchReport, SmartApBenchmark};
 use odx_trace::{
     sample_benchmark_workload, sample_eval_workload, Catalog, CatalogConfig, Population,
     PopulationConfig, SampledRequest, Workload, WorkloadConfig,
@@ -64,18 +65,51 @@ impl Study {
     /// Generate a study at `scale` of the paper's size, deterministic in
     /// `seed`.
     pub fn generate(scale: f64, seed: u64) -> Study {
+        let registry = ScenarioRegistry::builtin();
+        let baseline = registry.get("paper-default").expect("builtin baseline");
+        Study::generate_scenario(scale, seed, baseline)
+    }
+
+    /// Generate a study under a named scenario: same generators, but the
+    /// population's ISP mix follows the scenario (e.g. `cernet-heavy`).
+    pub fn generate_scenario(scale: f64, seed: u64, scenario: &Scenario) -> Study {
         let rngs = RngFactory::new(seed);
         let mut rng = rand::rngs::StdRng::seed_from_u64(rngs.child("study").master());
         let catalog = Catalog::generate(&CatalogConfig::scaled(scale), &mut rng);
-        let population = Population::generate(&PopulationConfig::scaled(scale), &mut rng);
+        let mut pop_cfg = PopulationConfig::scaled(scale);
+        pop_cfg.isp_mix = scenario.isp_mix();
+        let population = Population::generate(&pop_cfg, &mut rng);
         let workload =
             Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
         Study { scale, rngs, catalog, population, workload }
     }
 
+    /// The built-in scenario presets (`repro --scenario` resolves here).
+    pub fn scenarios() -> ScenarioRegistry {
+        ScenarioRegistry::builtin()
+    }
+
+    /// The cloud config a scenario describes at this study's scale: the
+    /// cache and privileged-path ablation flags, the shared retry decay,
+    /// and the user-base sweep (demand growing `demand_factor`× against
+    /// fixed upload capacity).
+    pub fn scenario_cloud_config(&self, scenario: &Scenario) -> CloudConfig {
+        let mut cfg = CloudConfig::at_scale(self.scale);
+        cfg.cache_enabled = scenario.cache_enabled;
+        cfg.privileged_paths_enabled = scenario.privileged_paths;
+        cfg.retry_decay = scenario.backend.retry_decay;
+        cfg.upload_total_kbps /= scenario.demand_factor;
+        cfg
+    }
+
     /// Replay the week on the cloud system (§4, Figs 8–11).
     pub fn replay_cloud(&self) -> WeekReport {
         self.replay_cloud_with(CloudConfig::at_scale(self.scale))
+    }
+
+    /// Replay the week under a scenario's cloud configuration.
+    pub fn replay_cloud_scenario(&self, scenario: &Scenario) -> WeekReport {
+        self.replay_cloud_with(self.scenario_cloud_config(scenario))
     }
 
     /// Replay the week with an explicit cloud config (ablations).
@@ -102,9 +136,23 @@ impl Study {
         SmartApBenchmark::replay(&self.benchmark_sample(n), &self.rngs.child("smartap"))
     }
 
+    /// Run the §5.1 benchmark over a scenario's AP fleet (e.g. `usb3-aps`).
+    pub fn replay_smart_aps_scenario(&self, n: usize, scenario: &Scenario) -> ApBenchReport {
+        SmartApBenchmark::replay_fleet(
+            &self.benchmark_sample(n),
+            &scenario.ap_fleet,
+            &self.rngs.child("smartap"),
+        )
+    }
+
     /// Run the §6.2 ODR evaluation over `n` sampled requests
     /// (Figs 16–17).
     pub fn replay_odr(&self, n: usize) -> OdrEvalReport {
         OdrReplay::default().run(&self.eval_sample(n), &self.rngs.child("odr"))
+    }
+
+    /// Run the §6.2 evaluation under a scenario (backend config + AP fleet).
+    pub fn replay_odr_scenario(&self, n: usize, scenario: &Scenario) -> OdrEvalReport {
+        OdrReplay::for_scenario(scenario).run(&self.eval_sample(n), &self.rngs.child("odr"))
     }
 }

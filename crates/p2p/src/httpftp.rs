@@ -37,7 +37,7 @@ impl Default for HttpFtpConfig {
             fail_width: 0.5,
             rate_median_kbps: 150.0,
             rate_sigma: 0.9,
-            rate_cap_kbps: 2370.0,
+            rate_cap_kbps: odx_net::ADSL_PAYLOAD_KBPS,
         }
     }
 }

@@ -56,7 +56,7 @@ impl Default for SwarmConfig {
             rate_pop_exponent: 0.35,
             rate_pop_pivot: 84.0,
             rate_sigma: 1.2,
-            rate_cap_kbps: 2370.0,
+            rate_cap_kbps: odx_net::ADSL_PAYLOAD_KBPS,
             direct_hot_median_kbps: 800.0,
             direct_hot_sigma: 0.8,
             highly_popular_threshold: 84.0,

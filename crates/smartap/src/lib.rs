@@ -12,22 +12,21 @@
 //!   (same swarm/HTTP models as the cloud's pre-downloaders), rate-coupled
 //!   through the storage write path of `odx-storage`, with the firmware-bug
 //!   failure mode §5.2 attributes 4 % of failures to.
-//! * [`SmartApBenchmark`] — sequential replay of the 1000-request sampled
-//!   workload across three simulated 20 Mbps ADSL lines, reproducing
-//!   Figs 13–14 and the §5.2 failure taxonomy.
-//! * [`concurrent`] — an extension: the same replay with aria2-style
+//! * [`concurrent`] — an extension: the §5.1 replay with aria2-style
 //!   concurrent download slots sharing the line under max–min fairness.
 //! * [`lan`] — the fetch phase: WiFi/wired LAN rates high enough that
 //!   fetching from an AP "is seldom an issue".
 //! * [`table2`] — the (device × filesystem) sweep behind Table 2.
+//!
+//! The §5.1 sequential benchmark harness (`SmartApBenchmark`, reproducing
+//! Figs 13–14 and the §5.2 failure taxonomy) lives in `odx-backend`, where
+//! it drives the shared `ProxyBackend` execution layer.
 
-mod bench;
 pub mod concurrent;
 mod engine;
 pub mod lan;
 mod models;
 pub mod table2;
 
-pub use bench::{ApBenchReport, ApTaskRecord, SmartApBenchmark};
 pub use engine::{ApEngine, ApEngineConfig, ApOutcome};
 pub use models::{ApModel, StorageSetup};

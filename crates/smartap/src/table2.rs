@@ -5,7 +5,7 @@
 //! so the ADSL line's 2.37 MBps payload rate is what the source offers and
 //! the storage write path decides how much of it survives. The sweep is
 //! therefore deterministic given the storage models — the stochastic replay
-//! is covered by [`crate::SmartApBenchmark`].
+//! is covered by `odx-backend`'s `SmartApBenchmark`.
 
 use odx_storage::{write_profile, DeviceKind, FsKind};
 use serde::Serialize;
@@ -14,7 +14,7 @@ use crate::ApModel;
 
 /// What the paper observed as the maximum offered payload rate on the
 /// 20 Mbps ADSL lines: 2.37 MBps.
-pub const MAX_OFFERED_KBPS: f64 = 2370.0;
+pub const MAX_OFFERED_KBPS: f64 = odx_net::ADSL_PAYLOAD_KBPS;
 
 /// One Table 2 cell.
 #[derive(Debug, Clone, Copy, Serialize)]
