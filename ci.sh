@@ -26,4 +26,18 @@ echo "== repro smoke: headline --scenario paper-default =="
 cargo run --release -p odx-bench --bin repro -- headline \
   --scenario paper-default --scale 0.01 --sample 200
 
+echo "== sweep determinism: --jobs 1 vs --jobs 4 must be byte-identical =="
+SWEEP_TMP="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario all --seeds 2 --jobs 1 --scale 0.002 --out "$SWEEP_TMP/j1"
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario all --seeds 2 --jobs 4 --scale 0.002 --out "$SWEEP_TMP/j4"
+diff "$SWEEP_TMP/j1/sweep.json" "$SWEEP_TMP/j4/sweep.json"
+diff "$SWEEP_TMP/j1/sweep.csv" "$SWEEP_TMP/j4/sweep.csv"
+echo "sweep snapshots identical"
+
+echo "== criterion benches (quick mode) =="
+ODX_BENCH_QUICK=1 cargo bench -p odx-bench --bench des
+
 echo "CI OK"

@@ -150,6 +150,17 @@ impl ScenarioRegistry {
     pub fn names(&self) -> Vec<&'static str> {
         self.scenarios.iter().map(|s| s.name).collect()
     }
+
+    /// Expand a sweep selector into concrete scenarios: a preset name gives
+    /// that single preset, the reserved selector `all` gives every preset
+    /// in listing order, and an unknown name gives `None`. This is the grid
+    /// axis `repro sweep --scenario` is expanded with.
+    pub fn resolve(&self, selector: &str) -> Option<Vec<Scenario>> {
+        if selector == "all" {
+            return Some(self.scenarios.clone());
+        }
+        self.get(selector).map(|s| vec![*s])
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +182,18 @@ mod tests {
         }
         assert!(reg.get("no-such-scenario").is_none());
         assert_eq!(reg.names()[0], "paper-default");
+    }
+
+    #[test]
+    fn resolve_expands_all_and_rejects_unknowns() {
+        let reg = ScenarioRegistry::builtin();
+        let all = reg.resolve("all").unwrap();
+        assert_eq!(all.len(), reg.all().len());
+        assert_eq!(all[0].name, "paper-default");
+        let one = reg.resolve("ablate-cache").unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name, "ablate-cache");
+        assert!(reg.resolve("no-such-scenario").is_none());
     }
 
     #[test]

@@ -5,24 +5,31 @@
 //! cargo run --release -p odx-bench --bin repro -- all --scale 0.1
 //! cargo run --release -p odx-bench --bin repro -- fig8 fig9
 //! cargo run --release -p odx-bench --bin repro -- headline --scenario ablate-cache
+//! cargo run --release -p odx-bench --bin repro -- sweep --scenario all --seeds 5 --jobs 4
+//! cargo run --release -p odx-bench --bin repro -- bench --json BENCH_pr3.json
 //! cargo run --release -p odx-bench --bin repro -- list
 //! ```
 //!
 //! Commands: `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 headline fig13
 //! fig14 table2 fig15 fig16 fig17 ablate-cache ablate-privileged
 //! ablate-storage ablate-dedup ablate-ledbat ablate-concurrency sweep-userbase sweep-cache
-//! export-traces list all`.
-//! (`export-traces` is opt-in — it is not part of `all`; `list` prints the
-//! available commands and scenario presets.)
+//! sweep bench export-traces list all`.
+//! (`sweep`, `bench`, and `export-traces` are opt-in — they are not part of
+//! `all`; `list` prints the available commands and scenario presets.)
 //!
 //! `--scenario NAME` (default `paper-default`) resolves a preset from the
 //! scenario registry and applies it to workload generation and every
-//! replay. `--scale` (default 0.1) sets the workload scale (1.0 = the
-//! paper's full 4.08 M-task week); `--seed` the master seed; `--sample` the
-//! §5.1/§6.2 sample size (default 1000, the paper's); `--out DIR`
-//! additionally dumps each figure's plotted series as TSV; `--metrics FILE`
+//! replay; `sweep` additionally accepts the selector `all`, expanding to
+//! every preset. `--scale` (default 0.1) sets the workload scale (1.0 =
+//! the paper's full 4.08 M-task week); `--seed` the master seed; `--seeds N`
+//! the sweep's seed-axis length (seeds `seed..seed+N`); `--jobs N` the
+//! sweep worker-thread count (the merged output is byte-identical for any
+//! value); `--sample` the §5.1/§6.2 sample size (default 1000, the
+//! paper's); `--out DIR` additionally dumps each figure's plotted series as
+//! TSV (and the sweep's merged `sweep.json`/`sweep.csv`); `--metrics FILE`
 //! writes the final telemetry-registry snapshot as JSON (byte-identical
-//! across same-seed runs of the same commands).
+//! across same-seed runs of the same commands); `--json FILE` writes
+//! `bench`'s wall-clock report.
 
 use std::collections::BTreeSet;
 use std::io::Write;
@@ -63,6 +70,8 @@ const COMMANDS: &[&str] = &[
     "ablate-concurrency",
     "sweep-userbase",
     "sweep-cache",
+    "sweep",
+    "bench",
     "export-traces",
     "list",
     "all",
@@ -71,11 +80,20 @@ const COMMANDS: &[&str] = &[
 struct Options {
     commands: BTreeSet<String>,
     scenario: Scenario,
+    /// The raw `--scenario` selector; unlike `scenario` it may be `all`,
+    /// which only `sweep` knows how to expand.
+    scenario_selector: String,
     scale: f64,
     seed: u64,
+    /// Sweep seed-axis length: seeds `seed..seed+seeds`.
+    seeds: usize,
+    /// Sweep worker threads (output is identical for any value).
+    jobs: usize,
     sample: usize,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    /// Where `bench` writes its wall-clock JSON report.
+    json: Option<PathBuf>,
 }
 
 /// Print the valid subcommands and scenario presets to `out`.
@@ -84,12 +102,14 @@ fn print_usage(out: &mut dyn Write) {
     let _ = writeln!(out, "  {}", COMMANDS.join(" "));
     let _ = writeln!(
         out,
-        "flags: --scenario NAME --scale F --seed N --sample N --out DIR --metrics FILE"
+        "flags: --scenario NAME --scale F --seed N --seeds N --jobs N --sample N --out DIR \
+         --metrics FILE --json FILE"
     );
     let _ = writeln!(out, "scenarios (--scenario):");
     for s in Study::scenarios().all() {
         let _ = writeln!(out, "  {:<18} {}", s.name, s.summary);
     }
+    let _ = writeln!(out, "  {:<18} every preset above (sweep only)", "all");
 }
 
 /// Reject `what` with the usage listing on stderr and a non-zero exit.
@@ -104,26 +124,38 @@ fn parse_args() -> Options {
     let registry = Study::scenarios();
     let mut commands = BTreeSet::new();
     let mut scenario = *registry.get("paper-default").expect("builtin baseline");
+    let mut scenario_selector = "paper-default".to_owned();
     let mut scale = 0.1;
     let mut seed = 2015;
+    let mut seeds = 1;
+    let mut jobs = 1;
     let mut sample = 1000;
     let mut out = None;
     let mut metrics = None;
+    let mut json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scenario" => {
                 let name = args.next().expect("--scenario value");
-                scenario = match registry.get(&name) {
-                    Some(s) => *s,
-                    None => usage_error(&format!("scenario `{name}`")),
-                };
+                // `all` is a sweep-only selector: the grid expands it, while
+                // the single-scenario commands keep the baseline.
+                if name != "all" {
+                    scenario = match registry.get(&name) {
+                        Some(s) => *s,
+                        None => usage_error(&format!("scenario `{name}`")),
+                    };
+                }
+                scenario_selector = name;
             }
             "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
+            "--seeds" => seeds = args.next().expect("--seeds value").parse().expect("seeds"),
+            "--jobs" => jobs = args.next().expect("--jobs value").parse().expect("jobs"),
             "--sample" => sample = args.next().expect("--sample value").parse().expect("sample"),
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
             "--metrics" => metrics = Some(PathBuf::from(args.next().expect("--metrics file"))),
+            "--json" => json = Some(PathBuf::from(args.next().expect("--json file"))),
             flag if flag.starts_with('-') => usage_error(&format!("flag `{flag}`")),
             cmd if COMMANDS.contains(&cmd) => {
                 commands.insert(cmd.to_owned());
@@ -134,7 +166,19 @@ fn parse_args() -> Options {
     if commands.is_empty() {
         commands.insert("all".to_owned());
     }
-    Options { commands, scenario, scale, seed, sample, out, metrics }
+    Options {
+        commands,
+        scenario,
+        scenario_selector,
+        scale,
+        seed,
+        seeds: seeds.max(1),
+        jobs: jobs.max(1),
+        sample,
+        out,
+        metrics,
+        json,
+    }
 }
 
 fn main() {
@@ -150,6 +194,20 @@ fn main() {
     );
     if let Some(dir) = &opts.out {
         std::fs::create_dir_all(dir).expect("create --out dir");
+    }
+
+    // `sweep` and `bench` are standalone: they build their own per-cell
+    // studies, so they run before (and can skip) the shared study below.
+    if opts.commands.contains("sweep") {
+        sweep_grid(&opts);
+    }
+    if opts.commands.contains("bench") {
+        bench_report(&opts);
+    }
+    let only_standalone = opts.commands.iter().all(|c| c == "sweep" || c == "bench");
+    if only_standalone {
+        write_metrics(&opts);
+        return;
     }
 
     let study = Study::generate_scenario(opts.scale, opts.seed, &opts.scenario);
@@ -168,7 +226,20 @@ fn main() {
         ["fig8", "fig9", "fig10", "fig11", "headline", "fig16"].iter().any(|c| want(c))
             || want("ablate-cache")
             || want("ablate-privileged");
-    let cloud = needs_cloud.then(|| study.replay_cloud_scenario(&opts.scenario));
+    let cloud = needs_cloud.then(|| {
+        // Wall-clock perf of the main replay rides along in the registry's
+        // separate `wall` section (excluded from `--metrics`, printed by
+        // `headline`, exported only by the full perf report).
+        let registry = odx_telemetry::global();
+        let events_before = registry.counter("sim.events").get();
+        let start = std::time::Instant::now();
+        let report = study.replay_cloud_scenario(&opts.scenario);
+        let wall = start.elapsed().as_secs_f64();
+        let events = registry.counter("sim.events").get() - events_before;
+        registry.set_wall("sim.wall_secs", wall);
+        registry.set_wall("sim.events_per_sec", events as f64 / wall.max(1e-9));
+        report
+    });
 
     if let Some(report) = &cloud {
         if want("fig8") {
@@ -248,6 +319,11 @@ fn main() {
         export_traces(&study, &opts);
     }
 
+    write_metrics(&opts);
+}
+
+/// Write the deterministic global-registry snapshot if `--metrics` asked.
+fn write_metrics(opts: &Options) {
     if let Some(path) = &opts.metrics {
         let json = odx_telemetry::global().snapshot().to_json();
         std::fs::write(path, &json).expect("write --metrics file");
@@ -499,6 +575,159 @@ fn headline(report: &WeekReport) {
             format!("{:.1}%", 100.0 * report.counters.impeded_dynamics as f64 / fetches)
         )
     );
+    let registry = odx_telemetry::global();
+    if let (Some(wall), Some(eps)) =
+        (registry.wall("sim.wall_secs"), registry.wall("sim.events_per_sec"))
+    {
+        println!("  perf: cloud replay {wall:.2}s wall — {eps:.0} events/sec (wall section, excluded from --metrics)");
+    }
+}
+
+fn sweep_grid(opts: &Options) {
+    use odx::sweep::{run_sweep, SweepSpec};
+    let scenarios = Study::scenarios()
+        .resolve(&opts.scenario_selector)
+        .unwrap_or_else(|| usage_error(&format!("scenario `{}`", opts.scenario_selector)));
+    let seeds: Vec<u64> = (0..opts.seeds as u64).map(|i| opts.seed + i).collect();
+    section(&format!(
+        "Sweep — {} scenario(s) × {} seed(s) at scale {} on {} worker(s)",
+        scenarios.len(),
+        seeds.len(),
+        opts.scale,
+        opts.jobs
+    ));
+    let spec = SweepSpec { scenarios, seeds, scale: opts.scale, jobs: opts.jobs };
+    let report = run_sweep(&spec);
+    println!(
+        "  {:<18} {:>6} {:>9} {:>6} {:>6} {:>8} {:>10}",
+        "scenario", "seed", "requests", "hit%", "fail%", "impeded%", "events"
+    );
+    for c in &report.cells {
+        println!(
+            "  {:<18} {:>6} {:>9} {:>6.1} {:>6.1} {:>8.1} {:>10}",
+            c.scenario,
+            c.seed,
+            c.requests,
+            100.0 * c.hit_ratio,
+            100.0 * c.failure_ratio,
+            100.0 * c.impeded_ratio,
+            c.sim_events
+        );
+    }
+    println!(
+        "  {} cell(s) on {} worker(s) in {:.2}s — {:.0} events/sec aggregate",
+        report.cells.len(),
+        report.jobs,
+        report.wall_secs,
+        report.events_per_sec()
+    );
+    if let Some(dir) = &opts.out {
+        let json_path = dir.join("sweep.json");
+        let csv_path = dir.join("sweep.csv");
+        std::fs::write(&json_path, report.to_json()).expect("write sweep.json");
+        std::fs::write(&csv_path, report.to_csv()).expect("write sweep.csv");
+        println!("  [deterministic snapshots → {} / {}]", json_path.display(), csv_path.display());
+    }
+}
+
+/// One deterministic churn workload over either event-queue implementation:
+/// `n` schedules at LCG-drawn times, ~60 % cancels of random earlier ids,
+/// pops interleaved every 7th op, then a full drain. Identical call
+/// sequences land on both queues, so the popped-event counts must agree.
+macro_rules! churn {
+    ($queue:expr, $n:expr) => {{
+        let start = std::time::Instant::now();
+        let mut q = $queue;
+        let mut ids = Vec::with_capacity($n);
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut pops = 0u64;
+        for i in 0..$n as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ids.push(q.schedule(odx::sim::SimTime::from_millis((x >> 33) % 1_000_000), i));
+            if i % 5 != 0 && i % 5 != 3 {
+                q.cancel(ids[((x >> 20) as usize) % ids.len()]);
+            }
+            if i % 7 == 0 && q.pop().is_some() {
+                pops += 1;
+            }
+        }
+        while q.pop().is_some() {
+            pops += 1;
+        }
+        (pops, start.elapsed().as_secs_f64())
+    }};
+}
+
+fn bench_report(opts: &Options) {
+    use odx::sweep::{run_sweep, SweepSpec};
+    section("Bench — DES hot-path wall-clock report (nondeterministic)");
+
+    let ops: usize = 120_000;
+    let (slab_pops, slab_secs) = churn!(odx::sim::EventQueue::with_capacity(ops), ops);
+    let (legacy_pops, legacy_secs) = churn!(odx::sim::legacy::EventQueue::new(), ops);
+    assert_eq!(slab_pops, legacy_pops, "both queues must fire the same events");
+    let slab_eps = slab_pops as f64 / slab_secs.max(1e-9);
+    let legacy_eps = legacy_pops as f64 / legacy_secs.max(1e-9);
+    let speedup = slab_eps / legacy_eps;
+    println!("  event-queue churn ({ops} schedules, ~60% cancels, {slab_pops} fired):");
+    println!("    slab   queue  {slab_eps:>12.0} events/sec  ({slab_secs:.3}s)");
+    println!("    legacy queue  {legacy_eps:>12.0} events/sec  ({legacy_secs:.3}s)");
+    println!("    speedup {speedup:.2}x");
+
+    let shard = run_sweep(&SweepSpec {
+        scenarios: vec![opts.scenario],
+        seeds: vec![opts.seed],
+        scale: opts.scale,
+        jobs: 1,
+    });
+    let cell = &shard.cells[0];
+    let shard_eps = cell.sim_events as f64 / cell.wall_secs.max(1e-9);
+    println!(
+        "  cloud week shard ({} @ scale {}): {} events in {:.2}s — {:.0} events/sec",
+        cell.scenario, opts.scale, cell.sim_events, cell.wall_secs, shard_eps
+    );
+
+    let sweep_scale = (opts.scale / 10.0).max(0.002);
+    let sweep = run_sweep(&SweepSpec {
+        scenarios: Study::scenarios().all().to_vec(),
+        seeds: vec![opts.seed, opts.seed + 1],
+        scale: sweep_scale,
+        jobs: opts.jobs,
+    });
+    println!(
+        "  full sweep ({} cells @ scale {} on {} worker(s)): {:.2}s — {:.0} events/sec aggregate",
+        sweep.cells.len(),
+        sweep_scale,
+        sweep.jobs,
+        sweep.wall_secs,
+        sweep.events_per_sec()
+    );
+
+    if let Some(path) = &opts.json {
+        let json = format!(
+            "{{\"event_queue_churn\":{{\"schedules\":{ops},\"fired\":{slab_pops},\
+             \"slab\":{{\"secs\":{slab_secs},\"events_per_sec\":{slab_eps:.0}}},\
+             \"legacy\":{{\"secs\":{legacy_secs},\"events_per_sec\":{legacy_eps:.0}}},\
+             \"speedup\":{speedup:.2}}},\
+             \"cloud_week\":{{\"scenario\":\"{}\",\"scale\":{},\"sim_events\":{},\
+             \"secs\":{:.3},\"events_per_sec\":{:.0}}},\
+             \"sweep\":{{\"cells\":{},\"jobs\":{},\"scale\":{},\"total_events\":{},\
+             \"secs\":{:.3},\"events_per_sec\":{:.0}}}}}\n",
+            cell.scenario,
+            opts.scale,
+            cell.sim_events,
+            cell.wall_secs,
+            shard_eps,
+            sweep.cells.len(),
+            sweep.jobs,
+            sweep_scale,
+            sweep.total_events(),
+            sweep.wall_secs,
+            sweep.events_per_sec()
+        );
+        std::fs::write(path, &json).expect("write --json file");
+        println!("  [bench report → {}]", path.display());
+    }
 }
 
 fn fig13(report: &odx::backend::ApBenchReport, opts: &Options) {

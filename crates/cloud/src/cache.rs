@@ -4,8 +4,9 @@
 //! Implemented from scratch as a hash map into an intrusive doubly-linked
 //! list over a slab, giving O(1) touch / insert / evict.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use odx_sim::FxHashMap;
 
 const NIL: usize = usize::MAX;
 
@@ -20,7 +21,9 @@ struct Node<K> {
 pub struct LruCache<K> {
     capacity_mb: f64,
     used_mb: f64,
-    map: HashMap<K, usize>,
+    // FxHash: touched on every request of the week replay (hit path), with
+    // simulation-internal keys that need no HashDoS keying.
+    map: FxHashMap<K, usize>,
     slab: Vec<Node<K>>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -34,7 +37,7 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
         LruCache {
             capacity_mb,
             used_mb: 0.0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,

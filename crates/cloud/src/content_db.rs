@@ -5,6 +5,7 @@
 //! "query the content database of Xuanfeng to obtain the popularity
 //! information of the requested file" — this type is that queryable surface.
 
+use odx_sim::FxHashMap;
 use odx_stats::dist::u01;
 use odx_trace::{Catalog, FileId, PopularityClass};
 use rand::Rng;
@@ -25,7 +26,9 @@ pub struct FileState {
 /// The metadata database over a catalog.
 pub struct ContentDb {
     states: Vec<FileState>,
-    by_id: std::collections::HashMap<FileId, u32>,
+    // MD5-style ids are already uniform, so the cheap FxHash mix loses
+    // nothing; lookups happen per request in the replay hot loop.
+    by_id: FxHashMap<FileId, u32>,
 }
 
 impl ContentDb {

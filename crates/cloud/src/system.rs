@@ -5,11 +5,9 @@
 //! fetch completion, producing the per-request pre-downloading and fetching
 //! traces plus the 5-minute upload-burden series of Figure 11.
 
-use std::collections::HashMap;
-
 use odx_net::{Isp, HD_THRESHOLD_KBPS};
 use odx_p2p::FailureCause;
-use odx_sim::{Ctx, RngFactory, SimDuration, SimRng, SimTime, Simulation, World};
+use odx_sim::{Ctx, FxHashMap, RngFactory, SimDuration, SimRng, SimTime, Simulation, World};
 use odx_stats::dist::u01;
 use odx_stats::{BinnedSeries, Ecdf};
 use odx_telemetry::{Counter, HistogramHandle, Registry};
@@ -266,7 +264,10 @@ pub struct XuanfengCloud<'a> {
     pool_cache: LruCache<u32>,
     backend: CloudWeekBackend,
     rng_think: SimRng,
-    pending: HashMap<u32, Pending>,
+    // Keyed by catalog index; FxHash keeps the per-event lookup a few ALU
+    // ops instead of a SipHash permutation (this map is hit on every
+    // arrival and every pre-download completion).
+    pending: FxHashMap<u32, Pending>,
     pd_delay_ms: Vec<u64>,
     predownloads: Vec<PredownloadRecord>,
     fetches: Vec<FetchRecord>,
@@ -310,7 +311,7 @@ impl<'a> XuanfengCloud<'a> {
             pool_cache,
             backend,
             rng_think: rngs.stream("cloud-think"),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             pd_delay_ms: vec![0; workload.len()],
             predownloads: Vec::with_capacity(workload.len()),
             fetches: Vec::with_capacity(workload.len()),
@@ -356,7 +357,10 @@ impl<'a> XuanfengCloud<'a> {
         let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
         world.metrics = CloudMetrics::new(registry);
         world.backend.rebind_metrics(registry);
-        let mut sim = Simulation::new(world);
+        // Every request is scheduled up front and spawns at most a couple of
+        // follow-up events, so sizing the queue to the workload means the
+        // heap and slab never grow mid-replay.
+        let mut sim = Simulation::with_capacity(world, workload.len() + 16);
         sim.attach_telemetry(registry.clone());
         for (i, r) in workload.requests().iter().enumerate() {
             sim.schedule_at(r.at, Ev::Arrive(i as u32));

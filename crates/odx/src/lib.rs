@@ -23,6 +23,8 @@
 //! The crate-level view of the system lives in `DESIGN.md`; the
 //! paper-vs-measured ledger in `EXPERIMENTS.md`.
 
+pub mod sweep;
+
 pub use odx_backend as backend;
 pub use odx_cloud as cloud;
 pub use odx_net as net;

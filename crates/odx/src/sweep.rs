@@ -1,0 +1,325 @@
+//! Parallel scenario × seed sweeps over the cloud week replay.
+//!
+//! The paper's headline claims are per-scenario aggregates (cache
+//! ablations, user-base sweeps, ISP mixes); evaluating them means running
+//! the same deterministic week replay over a grid of `(scenario, seed)`
+//! cells. This module expands such a grid and executes its shards on a
+//! scoped worker pool ([`std::thread::scope`], `--jobs` on the CLI), each
+//! shard owning an independent [`Study`], engine, and telemetry
+//! [`Registry`] so shards share no mutable state at all.
+//!
+//! **Determinism under parallelism:** each cell's result depends only on
+//! its `(scenario, seed, scale)` inputs — never on which worker ran it or
+//! in what order — and the merged report sorts cells by `(scenario name,
+//! seed)`. The deterministic exports ([`SweepReport::to_json`] /
+//! [`SweepReport::to_csv`]) are therefore **byte-identical for any worker
+//! count, including 1**. Wall-clock perf numbers (per-shard seconds,
+//! events/sec) are collected alongside but deliberately kept out of those
+//! exports; they surface on stdout and through
+//! [`odx_telemetry::Snapshot::to_json_full`]-style perf reporting instead.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use odx_backend::Scenario;
+use odx_cloud::XuanfengCloud;
+use odx_telemetry::Registry;
+
+use crate::Study;
+
+/// A scenario × seed grid to evaluate.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The scenario axis (e.g. every builtin preset for `--scenario all`).
+    pub scenarios: Vec<Scenario>,
+    /// The seed axis (e.g. `--seed S --seeds N` gives `S..S+N`).
+    pub seeds: Vec<u64>,
+    /// Workload scale for every cell (1.0 = the paper's 4.08 M-task week).
+    pub scale: f64,
+    /// Worker threads to execute shards on (clamped to ≥ 1; the merged
+    /// deterministic output does not depend on this).
+    pub jobs: usize,
+}
+
+impl SweepSpec {
+    /// The grid in scenario-major order (the execution work-list; the
+    /// merged report re-sorts by key, so this order is not load-bearing).
+    pub fn cells(&self) -> Vec<(Scenario, u64)> {
+        let mut cells = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
+        for scenario in &self.scenarios {
+            for &seed in &self.seeds {
+                cells.push((*scenario, seed));
+            }
+        }
+        cells
+    }
+}
+
+/// Deterministic per-cell aggregates of one `(scenario, seed)` shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Scenario preset name.
+    pub scenario: &'static str,
+    /// Master seed of the shard's study.
+    pub seed: u64,
+    /// Requests replayed.
+    pub requests: u64,
+    /// Requests served from the pool (or a joined in-flight pre-download).
+    pub cache_hits: u64,
+    /// Requests whose pre-download failed.
+    pub predownload_failures: u64,
+    /// Fetch attempts rejected by the upload pool.
+    pub rejected_fetches: u64,
+    /// Fetches below the 125 KBps HD threshold (including rejected).
+    pub impeded_fetches: u64,
+    /// Fetches completed.
+    pub completed_fetches: u64,
+    /// Cache-hit ratio (§2.1 headline).
+    pub hit_ratio: f64,
+    /// Pre-download failure ratio (§4.1 headline).
+    pub failure_ratio: f64,
+    /// Fetch rejection ratio (§4.2 headline).
+    pub rejection_ratio: f64,
+    /// Impeded-fetch ratio (§4.2 headline).
+    pub impeded_ratio: f64,
+    /// Simulation events processed by the shard's engine.
+    pub sim_events: u64,
+    /// Shard wall-clock seconds — perf only, excluded from the
+    /// deterministic exports.
+    pub wall_secs: f64,
+}
+
+impl SweepCell {
+    /// Run one shard: generate the study and replay the cloud week with a
+    /// private registry, entirely independent of every other shard.
+    fn run(scenario: &Scenario, seed: u64, scale: f64) -> SweepCell {
+        let start = Instant::now();
+        let registry = Registry::new();
+        let study = Study::generate_scenario(scale, seed, scenario);
+        let cfg = study.scenario_cloud_config(scenario);
+        let report = XuanfengCloud::replay_with_registry(
+            &study.catalog,
+            &study.population,
+            &study.workload,
+            cfg,
+            &study.rngs,
+            &registry,
+        );
+        let sim_events = registry.snapshot().counters.get("sim.events").copied().unwrap_or(0);
+        SweepCell {
+            scenario: scenario.name,
+            seed,
+            requests: report.counters.requests,
+            cache_hits: report.counters.cache_hits,
+            predownload_failures: report.counters.predownload_failures,
+            rejected_fetches: report.counters.rejected_fetches,
+            impeded_fetches: report.counters.impeded_fetches,
+            completed_fetches: report.counters.completed_fetches,
+            hit_ratio: report.hit_ratio(),
+            failure_ratio: report.failure_ratio(),
+            rejection_ratio: report.rejection_ratio(),
+            impeded_ratio: report.impeded_ratio(),
+            sim_events,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The merged result of a sweep: cells sorted by `(scenario, seed)`.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-cell aggregates, `(scenario name, seed)`-sorted.
+    pub cells: Vec<SweepCell>,
+    /// Worker threads the sweep ran on (perf context only).
+    pub jobs: usize,
+    /// Total wall-clock seconds — perf only.
+    pub wall_secs: f64,
+}
+
+impl SweepReport {
+    /// Simulation events processed across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.sim_events).sum()
+    }
+
+    /// Aggregate engine throughput (events/sec of summed shard work over
+    /// total wall time). Nondeterministic; for perf reporting only.
+    pub fn events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// The deterministic merged report as a compact JSON document:
+    /// byte-identical for any worker count (wall-clock fields omitted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 * self.cells.len() + 64);
+        out.push_str("{\"cells\":[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"seed\":{},\"requests\":{},\"cache_hits\":{},\
+                 \"predownload_failures\":{},\"rejected_fetches\":{},\"impeded_fetches\":{},\
+                 \"completed_fetches\":{},\"sim_events\":{},\"hit_ratio\":{},\
+                 \"failure_ratio\":{},\"rejection_ratio\":{},\"impeded_ratio\":{}}}",
+                c.scenario,
+                c.seed,
+                c.requests,
+                c.cache_hits,
+                c.predownload_failures,
+                c.rejected_fetches,
+                c.impeded_fetches,
+                c.completed_fetches,
+                c.sim_events,
+                c.hit_ratio,
+                c.failure_ratio,
+                c.rejection_ratio,
+                c.impeded_ratio,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The deterministic merged report as CSV (same byte-identical
+    /// guarantee as [`SweepReport::to_json`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,seed,requests,cache_hits,predownload_failures,rejected_fetches,\
+             impeded_fetches,completed_fetches,sim_events,hit_ratio,failure_ratio,\
+             rejection_ratio,impeded_ratio\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                c.scenario,
+                c.seed,
+                c.requests,
+                c.cache_hits,
+                c.predownload_failures,
+                c.rejected_fetches,
+                c.impeded_fetches,
+                c.completed_fetches,
+                c.sim_events,
+                c.hit_ratio,
+                c.failure_ratio,
+                c.rejection_ratio,
+                c.impeded_ratio,
+            );
+        }
+        out
+    }
+}
+
+/// Execute a sweep: expand the grid, run shards on `spec.jobs` scoped
+/// workers (work-stealing by an atomic cursor), and merge the results by
+/// `(scenario, seed)` key.
+pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
+    let start = Instant::now();
+    let cells = spec.cells();
+    let jobs = spec.jobs.clamp(1, cells.len().max(1));
+    let mut results: Vec<Option<SweepCell>> = Vec::with_capacity(cells.len());
+    if jobs == 1 {
+        // Inline path: same per-cell code, no threads to reason about.
+        results.extend(cells.iter().map(|(s, seed)| Some(SweepCell::run(s, *seed, spec.scale))));
+    } else {
+        let slots: Vec<Mutex<Option<SweepCell>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((scenario, seed)) = cells.get(i) else { break };
+                    let cell = SweepCell::run(scenario, *seed, spec.scale);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(cell);
+                });
+            }
+        });
+        results
+            .extend(slots.into_iter().map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner())));
+    }
+    // Deterministic merge: whatever order the workers finished in, the
+    // report is keyed and sorted by (scenario, seed).
+    let mut merged: BTreeMap<(&'static str, u64), SweepCell> = BTreeMap::new();
+    for cell in results.into_iter().flatten() {
+        merged.insert((cell.scenario, cell.seed), cell);
+    }
+    SweepReport {
+        cells: merged.into_values().collect(),
+        jobs,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odx_backend::ScenarioRegistry;
+
+    fn tiny_spec(jobs: usize) -> SweepSpec {
+        let registry = ScenarioRegistry::builtin();
+        SweepSpec {
+            scenarios: vec![
+                *registry.get("paper-default").unwrap(),
+                *registry.get("ablate-cache").unwrap(),
+            ],
+            seeds: vec![2015, 2016],
+            scale: 0.0005,
+            jobs,
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_the_cross_product() {
+        let spec = tiny_spec(1);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].0.name, "paper-default");
+        assert_eq!(cells[0].1, 2015);
+        assert_eq!(cells[3].0.name, "ablate-cache");
+        assert_eq!(cells[3].1, 2016);
+    }
+
+    #[test]
+    fn sweep_output_is_byte_identical_across_worker_counts() {
+        let sequential = run_sweep(&tiny_spec(1));
+        let parallel = run_sweep(&tiny_spec(3));
+        assert_eq!(sequential.to_json(), parallel.to_json());
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
+        assert_eq!(sequential.cells, {
+            let mut cells = parallel.cells.clone();
+            for c in &mut cells {
+                // wall_secs is the one legitimately nondeterministic field.
+                c.wall_secs = sequential
+                    .cells
+                    .iter()
+                    .find(|s| (s.scenario, s.seed) == (c.scenario, c.seed))
+                    .unwrap()
+                    .wall_secs;
+            }
+            cells
+        });
+    }
+
+    #[test]
+    fn cells_reflect_their_scenario() {
+        let report = run_sweep(&tiny_spec(2));
+        let baseline =
+            report.cells.iter().find(|c| c.scenario == "paper-default" && c.seed == 2015).unwrap();
+        let no_cache =
+            report.cells.iter().find(|c| c.scenario == "ablate-cache" && c.seed == 2015).unwrap();
+        assert!(baseline.requests > 0);
+        assert!(
+            no_cache.failure_ratio > baseline.failure_ratio,
+            "disabling the pool must raise failures: {} vs {}",
+            no_cache.failure_ratio,
+            baseline.failure_ratio
+        );
+        assert!(report.total_events() > baseline.requests);
+    }
+}

@@ -85,6 +85,20 @@ impl<W: World> Simulation<W> {
         }
     }
 
+    /// Like [`Simulation::new`], but with the event queue's heap and slab
+    /// preallocated for `capacity` concurrently pending events. Replays
+    /// that schedule their whole workload up front size this to the
+    /// workload so the hot loop never reallocates.
+    pub fn with_capacity(world: W, capacity: usize) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            processed: 0,
+            telemetry: None,
+        }
+    }
+
     /// Attach a telemetry registry. Each processed event bumps the
     /// `sim.events` counter, the `sim.queue_depth` gauge tracks pending
     /// events, and every `run_until` / `run_to_completion` call records

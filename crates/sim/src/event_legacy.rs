@@ -1,0 +1,163 @@
+//! The pre-slab event queue, preserved verbatim as a benchmarking and
+//! regression baseline.
+//!
+//! This is the `BinaryHeap + HashSet` lazy-cancellation design the engine
+//! shipped with before the generation-stamped slab rewrite in
+//! [`crate::EventQueue`]: every cancel inserts the id into a `HashSet` and
+//! every pop hashes to check membership. It stays in-tree so
+//!
+//! * the cancel-heavy stress test can pin the slab queue's pop order
+//!   against the original, and
+//! * the `event_queue` churn benchmarks can measure the speedup without
+//!   digging an old commit out of history.
+//!
+//! Known wart, kept on purpose: cancelling an *already-fired* id returns
+//! `true` and leaves a permanent tombstone that skews `len()` — the exact
+//! bug the slab rewrite fixes structurally. Do not use this type in new
+//! code; it exists only as a comparison subject.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event in the legacy queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+// Orderings are inverted so `BinaryHeap` (a max-heap) pops the earliest
+// `(time, seq)` first.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The legacy deterministic future-event list (lazy `HashSet` cancellation).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), cancelled: HashSet::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `time`. Events scheduled for the same
+    /// instant fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry { time, seq: self.next_seq, id, payload });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an unknown id is a
+    /// no-op; cancelling an already-fired id erroneously "succeeds" (the
+    /// preserved bug — see the module docs).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The firing time of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending events, including not-yet-skipped cancelled ones.
+    // `is_empty` takes `&mut self` here (it garbage-collects while
+    // peeking), which clippy's pairing lint doesn't recognise.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// Whether no live events remain. Takes `&mut self` because it may
+    /// garbage-collect cancelled entries while peeking.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn legacy_queue_still_pops_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        let b = q.schedule(t(20), "b");
+        assert!(q.cancel(b));
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn legacy_queue_preserves_the_fired_cancel_bug() {
+        // Documented wart kept as the regression baseline: this is what the
+        // slab rewrite fixes.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(q.cancel(a), "the legacy queue wrongly accepts a fired id");
+        q.schedule(t(2), "b");
+        assert_eq!(q.len(), 0, "…and the tombstone skews len()");
+    }
+}

@@ -1,0 +1,141 @@
+//! A small deterministic hasher for simulation hot paths.
+//!
+//! `std`'s default `SipHash` is keyed per-process for HashDoS resistance,
+//! which simulation-internal maps (file indices, event slots, `u128` file
+//! ids) do not need — their keys come from the deterministic replay itself,
+//! never from untrusted input. This module provides the classic FxHash
+//! multiply-rotate mix (the Firefox/rustc hasher) implemented over `u64`
+//! lanes so it hashes identically on every platform, plus `HashMap` /
+//! `HashSet` aliases using it. No external dependency — the workspace's
+//! vendoring policy holds.
+//!
+//! Swapping it into the cloud replay's per-event lookups (pending
+//! pre-downloads, the LRU pool's index map, the content DB's id map) is
+//! one of the DES hot-path optimisations: the mix is a handful of ALU ops
+//! per word versus SipHash's full permutation rounds.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier (64-bit golden-ratio-ish constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one `u64` lane mixed word-at-a-time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        // Hash as u64 regardless of pointer width so the mix (and anything
+        // derived from iteration over small maps) is platform-independent.
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (stateless, so `Default` everywhere).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"offline"), hash_of(&"offline"));
+        assert_eq!(hash_of(&(7u32, 9u64)), hash_of(&(7u32, 9u64)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: Vec<u64> = (0u32..1000).map(|i| hash_of(&i)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len(), "sequential u32 keys must not collide");
+    }
+
+    #[test]
+    fn byte_slices_with_different_lengths_differ() {
+        // The tail word is tagged with its length, so "ab" and "ab\0" differ.
+        let a = FxBuildHasher::default().hash_one([1u8, 2].as_slice());
+        let b = FxBuildHasher::default().hash_one([1u8, 2, 0].as_slice());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        assert_eq!(map.get(&1), Some(&"one"));
+        let mut set: FxHashSet<u128> = FxHashSet::default();
+        assert!(set.insert(u128::MAX));
+        assert!(set.contains(&u128::MAX));
+    }
+}

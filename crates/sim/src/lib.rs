@@ -10,7 +10,12 @@
 //! * [`SimTime`] / [`SimDuration`] — a virtual clock with millisecond
 //!   resolution (a simulated week is ~6×10⁸ ms, far inside `u64`).
 //! * [`EventQueue`] / [`Simulation`] — a binary-heap scheduler with a stable
-//!   FIFO tie-break so runs are bit-for-bit reproducible.
+//!   FIFO tie-break so runs are bit-for-bit reproducible. Payloads live in a
+//!   generation-stamped slab, so cancellation is an O(1) array write and the
+//!   pop loop never hashes ([`legacy`] preserves the old `HashSet` design as
+//!   a benchmark baseline).
+//! * [`FxHashMap`] / [`FxHashSet`] — deterministic FxHash-based maps for
+//!   simulation-internal lookups on the hot path.
 //! * [`RngFactory`] — named, independently seeded RNG streams, so adding a
 //!   sampling site in one subsystem never perturbs another subsystem's draws.
 //! * [`fluid`] — a max–min fair bandwidth solver used to share link capacity
@@ -48,7 +53,9 @@
 
 mod engine;
 mod event;
+mod event_legacy;
 pub mod fluid;
+mod fxhash;
 mod rng;
 mod stats;
 mod time;
@@ -56,6 +63,14 @@ mod token_bucket;
 
 pub use engine::{Ctx, Simulation, World};
 pub use event::{EventId, EventQueue};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+
+/// The pre-slab event queue, kept in-tree as a benchmark/regression
+/// baseline — see [`legacy::EventQueue`] for why it must not be used in
+/// new code.
+pub mod legacy {
+    pub use crate::event_legacy::{EventId, EventQueue};
+}
 pub use rng::{named_seed, RngFactory, SimRng};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

@@ -89,6 +89,10 @@ struct RegistryInner {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+    // Wall-clock measurements (perf telemetry). Kept apart from the
+    // deterministic metrics: they vary run to run, so the default exports
+    // exclude them to preserve the byte-identical snapshot guarantee.
+    walls: Mutex<BTreeMap<String, f64>>,
     tracer: Tracer,
 }
 
@@ -134,6 +138,23 @@ impl Registry {
             .clone()
     }
 
+    /// Record a wall-clock measurement (seconds, rates, …) under `name`.
+    ///
+    /// Wall metrics live in the snapshot's separate [`Snapshot::wall`]
+    /// section and are excluded from the deterministic
+    /// [`Snapshot::to_json`] / [`Snapshot::to_csv`] exports — use
+    /// [`Snapshot::to_json_full`] to export them too. This is how perf
+    /// numbers (`sim.events_per_sec`, run wall time) ride along without
+    /// breaking the byte-identical-across-same-seed-runs guarantee.
+    pub fn set_wall(&self, name: &str, value: f64) {
+        self.inner.walls.lock().unwrap_or_else(|e| e.into_inner()).insert(name.to_owned(), value);
+    }
+
+    /// The wall-clock measurement named `name`, if one was recorded.
+    pub fn wall(&self, name: &str) -> Option<f64> {
+        self.inner.walls.lock().unwrap_or_else(|e| e.into_inner()).get(name).copied()
+    }
+
     /// The registry's span tracer.
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
@@ -166,7 +187,8 @@ impl Registry {
             .iter()
             .map(|(name, h)| (name.clone(), h.histogram().snapshot()))
             .collect();
-        Snapshot { counters, gauges, histograms, trace: self.inner.tracer.snapshot() }
+        let wall = self.inner.walls.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        Snapshot { counters, gauges, histograms, wall, trace: self.inner.tracer.snapshot() }
     }
 }
 
@@ -179,6 +201,9 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Wall-clock measurements by name — nondeterministic by nature, so
+    /// excluded from [`Snapshot::to_json`] / [`Snapshot::to_csv`].
+    pub wall: BTreeMap<String, f64>,
     /// The trace event stream.
     pub trace: TraceSnapshot,
 }
