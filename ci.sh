@@ -37,7 +37,16 @@ diff "$SWEEP_TMP/j1/sweep.json" "$SWEEP_TMP/j4/sweep.json"
 diff "$SWEEP_TMP/j1/sweep.csv" "$SWEEP_TMP/j4/sweep.csv"
 echo "sweep snapshots identical"
 
-echo "== criterion benches (quick mode) =="
+echo "== trace smoke: lifecycle export must be valid Chrome trace JSON =="
+cargo run --release -p odx-bench --bin repro -- trace \
+  --scenario paper-default --scale 0.002 --trace-sample 4 \
+  --out "$SWEEP_TMP/trace.json"
+cargo run --release -p odx-bench --bin repro -- check-trace \
+  --json "$SWEEP_TMP/trace.json"
+cargo run --release -p odx-bench --bin repro -- attribute \
+  --scenario paper-default --scale 0.002
+
+echo "== criterion benches (quick mode; incl. disabled-tracing overhead) =="
 ODX_BENCH_QUICK=1 cargo bench -p odx-bench --bench des
 
 echo "CI OK"

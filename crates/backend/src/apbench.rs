@@ -12,6 +12,7 @@ use odx_p2p::FailureCause;
 use odx_sim::{RngFactory, SimDuration};
 use odx_smartap::ApModel;
 use odx_stats::Ecdf;
+use odx_telemetry::{Lifecycle, LifecycleReport, Stage, TaskEnd, TraceConfig};
 use odx_trace::{PopularityClass, SampledRequest};
 use serde::Serialize;
 
@@ -143,16 +144,72 @@ impl SmartApBenchmark {
         fleet: &[ApContext; 3],
         rngs: &RngFactory,
     ) -> ApBenchReport {
+        Self::replay_fleet_inner(sample, fleet, rngs, None).0
+    }
+
+    /// Replay a fleet with per-task lifecycle tracing. The harness is
+    /// sequential per AP, so each AP carries its own virtual clock: task
+    /// *i+1* on an AP starts when task *i* on that AP finished, and each
+    /// task's trace is an arrival instant plus a pre-download span whose
+    /// length is the measured transfer duration. Failed tasks dump the
+    /// flight recorder with the §5.2 cause taxonomy.
+    pub fn replay_fleet_traced(
+        sample: &[SampledRequest],
+        fleet: &[ApContext; 3],
+        rngs: &RngFactory,
+        trace: &TraceConfig,
+    ) -> (ApBenchReport, LifecycleReport) {
+        let (report, lifecycle) =
+            Self::replay_fleet_inner(sample, fleet, rngs, Some(Lifecycle::new(trace)));
+        (report, lifecycle.expect("tracing was requested"))
+    }
+
+    fn replay_fleet_inner(
+        sample: &[SampledRequest],
+        fleet: &[ApContext; 3],
+        rngs: &RngFactory,
+        lifecycle: Option<Lifecycle>,
+    ) -> (ApBenchReport, Option<LifecycleReport>) {
         let mut backends: Vec<SmartApBackend> =
             fleet.iter().map(|&ap| SmartApBackend::bench(ap)).collect();
         let mut cloud = CloudContentState::new();
         let mut records = Vec::with_capacity(sample.len());
+        // One virtual clock per AP line: the benchmark replays each AP's
+        // share sequentially, so a task starts where the previous one on
+        // the same AP ended.
+        let mut ap_clock = [SimDuration::ZERO; 3];
         for (i, req) in sample.iter().enumerate() {
             let slot = i % fleet.len();
             let mut rng = rngs.stream_indexed("smartap-bench", i as u64);
             let preq = ProxyRequest::from_sampled(req, false, Some(fleet[slot]));
             let mut ctx = ExecCtx { rng: &mut rng, cloud: &mut cloud };
             let out = backends[slot].execute(&preq, &mut ctx);
+            if let Some(lifecycle) = &lifecycle {
+                let task = i as u64;
+                let start = ap_clock[slot].as_millis();
+                let end = (ap_clock[slot] + out.duration).as_millis();
+                lifecycle.tasks.instant(task, Stage::Arrival, start, None);
+                let detail = if out.storage_limited { Some("storage_limited") } else { None };
+                lifecycle.tasks.span(task, Stage::Predownload, start, end, detail);
+                lifecycle.flight.record(start, "ap_task");
+                if out.success {
+                    lifecycle.tasks.finish(task, TaskEnd::Completed, end);
+                } else {
+                    lifecycle.tasks.finish(task, TaskEnd::Failed, end);
+                    if lifecycle.tasks.sampled(task) {
+                        lifecycle.flight.dump(
+                            task,
+                            match out.cause {
+                                Some(FailureCause::InsufficientSeeds) => "failure:seeds",
+                                Some(FailureCause::PoorConnection) => "failure:connection",
+                                _ => "failure:bug",
+                            },
+                            end,
+                        );
+                    }
+                }
+            }
+            ap_clock[slot] = ap_clock[slot] + out.duration;
             records.push(ApTaskRecord {
                 ap: fleet[slot].model,
                 request: *req,
@@ -165,7 +222,7 @@ impl SmartApBenchmark {
                 storage_limited: out.storage_limited,
             });
         }
-        ApBenchReport { records }
+        (ApBenchReport { records }, lifecycle.map(|lifecycle| lifecycle.report()))
     }
 }
 
@@ -252,6 +309,34 @@ mod tests {
             a.records()[..50].iter().map(|r| r.rate_kbps).collect::<Vec<_>>(),
             b.records()[..50].iter().map(|r| r.rate_kbps).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn traced_replay_matches_untraced_and_tiles_durations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(148);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let sample = sample_benchmark_workload(&workload, &catalog, &population, 300, &mut rng);
+        let plain = SmartApBenchmark::replay(&sample, &RngFactory::new(148));
+        let (traced, lifecycle) = SmartApBenchmark::replay_fleet_traced(
+            &sample,
+            &ApContext::bench_fleet(),
+            &RngFactory::new(148),
+            &TraceConfig::full(),
+        );
+        // Tracing must not perturb the replay itself.
+        assert_eq!(plain.failure_ratio(), traced.failure_ratio());
+        assert_eq!(lifecycle.traces.traces.len(), sample.len());
+        for (trace, record) in lifecycle.traces.traces.iter().zip(traced.records()) {
+            assert_eq!(trace.completion_ms(), Some(record.duration.as_millis()));
+            assert_eq!(trace.stage_ms(Stage::Predownload), record.duration.as_millis());
+            let expected = if record.success { TaskEnd::Completed } else { TaskEnd::Failed };
+            assert_eq!(trace.end.map(|(end, _)| end), Some(expected));
+        }
+        let failures = traced.records().iter().filter(|r| !r.success).count() as u64;
+        assert_eq!(lifecycle.flight.dumps.len() as u64 + lifecycle.flight.dropped_dumps, failures);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use odx::sim::{EventQueue, SimTime};
 use odx::sweep::{run_sweep, SweepSpec};
+use odx::telemetry::TraceConfig;
 use odx::Study;
 
 fn quick() -> bool {
@@ -57,17 +58,29 @@ fn bench_cloud_week_shard(c: &mut Criterion) {
     let scale = if quick() { 0.002 } else { 0.01 };
     let mut group = c.benchmark_group("des");
     group.sample_size(2);
-    group.bench_function("cloud_week_shard", |b| {
-        b.iter(|| {
-            let report = run_sweep(&SweepSpec {
-                scenarios: vec![*Study::scenarios().get("paper-default").unwrap()],
-                seeds: vec![2015],
-                scale,
-                jobs: 1,
-            });
-            black_box(report.total_events())
-        })
-    });
+    // Three variants of the same shard prove the lifecycle-tracing cost
+    // model: `trace: None` must stay within 5% of the pre-tracing baseline
+    // (the acceptance bar vs BENCH_pr3.json), sampled tracing within
+    // budget, and full tracing is the worst case.
+    for (name, trace) in [
+        ("cloud_week_shard", None),
+        ("cloud_week_shard_traced_1_16", Some(TraceConfig::sampled(16))),
+        ("cloud_week_shard_traced_full", Some(TraceConfig::full())),
+    ] {
+        let trace = &trace;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_sweep(&SweepSpec {
+                    scenarios: vec![*Study::scenarios().get("paper-default").unwrap()],
+                    seeds: vec![2015],
+                    scale,
+                    jobs: 1,
+                    trace: trace.clone(),
+                });
+                black_box(report.total_events())
+            })
+        });
+    }
     group.finish();
 }
 
@@ -82,6 +95,7 @@ fn bench_full_sweep(c: &mut Criterion) {
                 seeds: vec![2015, 2016],
                 scale,
                 jobs: 4,
+                trace: None,
             });
             black_box(report.total_events())
         })

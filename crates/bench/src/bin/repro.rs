@@ -6,6 +6,8 @@
 //! cargo run --release -p odx-bench --bin repro -- fig8 fig9
 //! cargo run --release -p odx-bench --bin repro -- headline --scenario ablate-cache
 //! cargo run --release -p odx-bench --bin repro -- sweep --scenario all --seeds 5 --jobs 4
+//! cargo run --release -p odx-bench --bin repro -- attribute --scenario paper-default
+//! cargo run --release -p odx-bench --bin repro -- trace --out trace.json
 //! cargo run --release -p odx-bench --bin repro -- bench --json BENCH_pr3.json
 //! cargo run --release -p odx-bench --bin repro -- list
 //! ```
@@ -13,9 +15,10 @@
 //! Commands: `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 headline fig13
 //! fig14 table2 fig15 fig16 fig17 ablate-cache ablate-privileged
 //! ablate-storage ablate-dedup ablate-ledbat ablate-concurrency sweep-userbase sweep-cache
-//! sweep bench export-traces list all`.
-//! (`sweep`, `bench`, and `export-traces` are opt-in — they are not part of
-//! `all`; `list` prints the available commands and scenario presets.)
+//! attribute trace check-trace sweep bench export-traces list all`.
+//! (`attribute`, `trace`, `check-trace`, `sweep`, `bench`, and
+//! `export-traces` are opt-in — they are not part of `all`; `list` prints
+//! the available commands and scenario presets.)
 //!
 //! `--scenario NAME` (default `paper-default`) resolves a preset from the
 //! scenario registry and applies it to workload generation and every
@@ -25,11 +28,24 @@
 //! the sweep's seed-axis length (seeds `seed..seed+N`); `--jobs N` the
 //! sweep worker-thread count (the merged output is byte-identical for any
 //! value); `--sample` the §5.1/§6.2 sample size (default 1000, the
-//! paper's); `--out DIR` additionally dumps each figure's plotted series as
-//! TSV (and the sweep's merged `sweep.json`/`sweep.csv`); `--metrics FILE`
+//! paper's); `--trace-sample N` enables lifecycle tracing of every `1/N`th
+//! task in `sweep` (and thins `attribute`/`trace`, which otherwise trace
+//! every task); `--out DIR` additionally dumps each figure's plotted series
+//! as TSV (and the sweep's merged `sweep.json`/`sweep.csv`; for `trace` a
+//! path ending in `.json` names the trace file itself); `--metrics FILE`
 //! writes the final telemetry-registry snapshot as JSON (byte-identical
 //! across same-seed runs of the same commands); `--json FILE` writes
-//! `bench`'s wall-clock report.
+//! `bench`'s wall-clock report and names `check-trace`'s input.
+//!
+//! Lifecycle observability (`DESIGN.md` §observability): `attribute`
+//! replays the cloud week with per-task causal tracing and prints the
+//! latency-attribution waterfall — virtual-time per stage (pre-download,
+//! admission queueing, fetch, …) whose timed stages exactly tile every
+//! task's arrival→completion interval. `trace` exports the same replay as
+//! Chrome trace-event JSON (load in Perfetto / `chrome://tracing`) plus the
+//! flight-recorder anomaly dumps next to it; `check-trace` validates such
+//! a file with the in-tree parser. Both exports are byte-identical across
+//! same-seed runs.
 
 use std::collections::BTreeSet;
 use std::io::Write;
@@ -45,6 +61,7 @@ use odx::stats::Ecdf;
 use odx::storage::{DeviceKind, FsKind};
 use odx::Study;
 use odx_bench::{mmmm, rel, row};
+use odx_telemetry::{validate_chrome_trace, LifecycleReport, TraceConfig};
 
 const COMMANDS: &[&str] = &[
     "table1",
@@ -70,6 +87,9 @@ const COMMANDS: &[&str] = &[
     "ablate-concurrency",
     "sweep-userbase",
     "sweep-cache",
+    "attribute",
+    "trace",
+    "check-trace",
     "sweep",
     "bench",
     "export-traces",
@@ -90,10 +110,25 @@ struct Options {
     /// Sweep worker threads (output is identical for any value).
     jobs: usize,
     sample: usize,
+    /// Lifecycle-trace sampling: trace every `1/N`th task (0 = sweeps stay
+    /// untraced; `attribute`/`trace` default to tracing every task).
+    trace_sample: u64,
     out: Option<PathBuf>,
     metrics: Option<PathBuf>,
     /// Where `bench` writes its wall-clock JSON report.
     json: Option<PathBuf>,
+}
+
+impl Options {
+    /// The lifecycle [`TraceConfig`] for `attribute`/`trace`: every task
+    /// unless `--trace-sample N` thinned it.
+    fn trace_config(&self) -> TraceConfig {
+        if self.trace_sample > 1 {
+            TraceConfig::sampled(self.trace_sample)
+        } else {
+            TraceConfig::full()
+        }
+    }
 }
 
 /// Print the valid subcommands and scenario presets to `out`.
@@ -102,8 +137,8 @@ fn print_usage(out: &mut dyn Write) {
     let _ = writeln!(out, "  {}", COMMANDS.join(" "));
     let _ = writeln!(
         out,
-        "flags: --scenario NAME --scale F --seed N --seeds N --jobs N --sample N --out DIR \
-         --metrics FILE --json FILE"
+        "flags: --scenario NAME --scale F --seed N --seeds N --jobs N --sample N \
+         --trace-sample N --out DIR --metrics FILE --json FILE"
     );
     let _ = writeln!(out, "scenarios (--scenario):");
     for s in Study::scenarios().all() {
@@ -130,6 +165,7 @@ fn parse_args() -> Options {
     let mut seeds = 1;
     let mut jobs = 1;
     let mut sample = 1000;
+    let mut trace_sample = 0;
     let mut out = None;
     let mut metrics = None;
     let mut json = None;
@@ -153,6 +189,10 @@ fn parse_args() -> Options {
             "--seeds" => seeds = args.next().expect("--seeds value").parse().expect("seeds"),
             "--jobs" => jobs = args.next().expect("--jobs value").parse().expect("jobs"),
             "--sample" => sample = args.next().expect("--sample value").parse().expect("sample"),
+            "--trace-sample" => {
+                trace_sample =
+                    args.next().expect("--trace-sample value").parse().expect("trace-sample")
+            }
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
             "--metrics" => metrics = Some(PathBuf::from(args.next().expect("--metrics file"))),
             "--json" => json = Some(PathBuf::from(args.next().expect("--json file"))),
@@ -175,6 +215,7 @@ fn parse_args() -> Options {
         seeds: seeds.max(1),
         jobs: jobs.max(1),
         sample,
+        trace_sample,
         out,
         metrics,
         json,
@@ -193,18 +234,36 @@ fn main() {
         opts.scenario.name, opts.scale, opts.seed, opts.sample
     );
     if let Some(dir) = &opts.out {
-        std::fs::create_dir_all(dir).expect("create --out dir");
+        // `trace --out trace.json` names a file, not a directory.
+        if dir.extension().is_none() {
+            std::fs::create_dir_all(dir).expect("create --out dir");
+        } else if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create --out parent dir");
+        }
     }
 
-    // `sweep` and `bench` are standalone: they build their own per-cell
-    // studies, so they run before (and can skip) the shared study below.
+    // `sweep`, `bench`, and the lifecycle commands are standalone: they
+    // build their own per-cell studies, so they run before (and can skip)
+    // the shared study below.
+    if opts.commands.contains("check-trace") {
+        check_trace_cmd(&opts);
+    }
+    if opts.commands.contains("attribute") {
+        attribute_cmd(&opts);
+    }
+    if opts.commands.contains("trace") {
+        trace_cmd(&opts);
+    }
     if opts.commands.contains("sweep") {
         sweep_grid(&opts);
     }
     if opts.commands.contains("bench") {
         bench_report(&opts);
     }
-    let only_standalone = opts.commands.iter().all(|c| c == "sweep" || c == "bench");
+    let only_standalone = opts
+        .commands
+        .iter()
+        .all(|c| matches!(c.as_str(), "sweep" | "bench" | "attribute" | "trace" | "check-trace"));
     if only_standalone {
         write_metrics(&opts);
         return;
@@ -583,6 +642,97 @@ fn headline(report: &WeekReport) {
     }
 }
 
+/// Replay the cloud week with per-task lifecycle tracing under the shared
+/// CLI knobs, recording replay wall-clock into the registry's (excluded)
+/// wall section.
+fn traced_cloud_replay(opts: &Options) -> LifecycleReport {
+    let study = Study::generate_scenario(opts.scale, opts.seed, &opts.scenario);
+    let registry = odx_telemetry::global();
+    let start = std::time::Instant::now();
+    let (_, lifecycle) = study.replay_cloud_traced(&opts.scenario, registry, &opts.trace_config());
+    registry.set_wall("trace.wall_secs", start.elapsed().as_secs_f64());
+    lifecycle
+}
+
+/// `--out` as the directory it names (ignoring `trace`'s file form).
+fn out_dir(opts: &Options) -> Option<&PathBuf> {
+    opts.out.as_ref().filter(|p| p.extension().is_none())
+}
+
+fn attribute_cmd(opts: &Options) {
+    section(&format!(
+        "Attribute — virtual-time latency waterfall ({}, every {} task(s))",
+        opts.scenario.name,
+        opts.trace_config().sample_every
+    ));
+    let lifecycle = traced_cloud_replay(opts);
+    let attribution = lifecycle.attribution();
+    for line in attribution.waterfall().lines() {
+        println!("  {line}");
+    }
+    let flight = &lifecycle.flight;
+    println!(
+        "  flight recorder: {} anomaly dump(s) ({} past the cap), {} events recorded",
+        flight.dumps.len(),
+        flight.dropped_dumps,
+        flight.recorded
+    );
+    if let Some(dir) = out_dir(opts) {
+        let path = dir.join("attribution.json");
+        std::fs::write(&path, attribution.to_json()).expect("write attribution.json");
+        println!("  [attribution → {}]", path.display());
+    }
+}
+
+fn trace_cmd(opts: &Options) {
+    section(&format!("Trace — Chrome trace-event export ({})", opts.scenario.name));
+    let lifecycle = traced_cloud_replay(opts);
+    let chrome = lifecycle.traces.to_chrome_json();
+    let stats = validate_chrome_trace(&chrome).expect("exporter emits valid Chrome trace JSON");
+    let path = match &opts.out {
+        Some(p) if p.extension().is_some() => p.clone(),
+        Some(dir) => dir.join("trace.json"),
+        None => PathBuf::from("trace.json"),
+    };
+    std::fs::write(&path, &chrome).expect("write trace file");
+    let flight_path = path.with_extension("flight.json");
+    std::fs::write(&flight_path, lifecycle.flight.to_json()).expect("write flight file");
+    println!(
+        "  {} event(s): {} spans + {} instants across {} task lane(s)",
+        stats.events, stats.complete, stats.instants, stats.lanes
+    );
+    println!(
+        "  [trace → {} — load in Perfetto (ui.perfetto.dev) or chrome://tracing]",
+        path.display()
+    );
+    println!(
+        "  [flight dumps → {} — {} anomaly dump(s)]",
+        flight_path.display(),
+        lifecycle.flight.dumps.len()
+    );
+}
+
+fn check_trace_cmd(opts: &Options) {
+    section("Check — validate a Chrome trace-event file");
+    let Some(path) = &opts.json else { usage_error("check-trace without --json FILE") };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    match validate_chrome_trace(&text) {
+        Ok(stats) => println!(
+            "  {} is valid: {} event(s), {} spans, {} instants, {} lane(s)",
+            path.display(),
+            stats.events,
+            stats.complete,
+            stats.instants,
+            stats.lanes
+        ),
+        Err(e) => {
+            eprintln!("repro: {} is not a valid Chrome trace: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 fn sweep_grid(opts: &Options) {
     use odx::sweep::{run_sweep, SweepSpec};
     let scenarios = Study::scenarios()
@@ -596,8 +746,14 @@ fn sweep_grid(opts: &Options) {
         opts.scale,
         opts.jobs
     ));
-    let spec = SweepSpec { scenarios, seeds, scale: opts.scale, jobs: opts.jobs };
+    // Sweeps stay untraced unless `--trace-sample N` opts in: tracing off
+    // is the perf-neutral default for grid runs.
+    let trace = (opts.trace_sample > 0).then(|| TraceConfig::sampled(opts.trace_sample));
+    let spec = SweepSpec { scenarios, seeds, scale: opts.scale, jobs: opts.jobs, trace };
     let report = run_sweep(&spec);
+    // Per-shard wall perf rides in the registry's wall section (excluded
+    // from the deterministic `--metrics` snapshot).
+    report.record_wall(odx_telemetry::global());
     println!(
         "  {:<18} {:>6} {:>9} {:>6} {:>6} {:>8} {:>10}",
         "scenario", "seed", "requests", "hit%", "fail%", "impeded%", "events"
@@ -621,12 +777,23 @@ fn sweep_grid(opts: &Options) {
         report.wall_secs,
         report.events_per_sec()
     );
-    if let Some(dir) = &opts.out {
+    if let Some(attribution) = report.attribution() {
+        println!("  merged latency attribution across all cells:");
+        for line in attribution.waterfall().lines() {
+            println!("  {line}");
+        }
+    }
+    if let Some(dir) = out_dir(opts) {
         let json_path = dir.join("sweep.json");
         let csv_path = dir.join("sweep.csv");
         std::fs::write(&json_path, report.to_json()).expect("write sweep.json");
         std::fs::write(&csv_path, report.to_csv()).expect("write sweep.csv");
         println!("  [deterministic snapshots → {} / {}]", json_path.display(), csv_path.display());
+        if let Some(attribution) = report.attribution() {
+            let attr_path = dir.join("attribution.json");
+            std::fs::write(&attr_path, attribution.to_json()).expect("write attribution.json");
+            println!("  [merged attribution → {}]", attr_path.display());
+        }
     }
 }
 
@@ -679,6 +846,7 @@ fn bench_report(opts: &Options) {
         seeds: vec![opts.seed],
         scale: opts.scale,
         jobs: 1,
+        trace: None,
     });
     let cell = &shard.cells[0];
     let shard_eps = cell.sim_events as f64 / cell.wall_secs.max(1e-9);
@@ -687,12 +855,33 @@ fn bench_report(opts: &Options) {
         cell.scenario, opts.scale, cell.sim_events, cell.wall_secs, shard_eps
     );
 
+    // Lifecycle-tracing overhead on the same shard: sampled 1/16 tracing
+    // should stay cheap, and the `trace: None` path must stay essentially
+    // free (the criterion bench in `benches/des.rs` holds it under 5%).
+    let traced = run_sweep(&SweepSpec {
+        scenarios: vec![opts.scenario],
+        seeds: vec![opts.seed],
+        scale: opts.scale,
+        jobs: 1,
+        trace: Some(TraceConfig::sampled(16)),
+    });
+    let traced_cell = &traced.cells[0];
+    let traced_eps = traced_cell.sim_events as f64 / traced_cell.wall_secs.max(1e-9);
+    let trace_overhead = traced_cell.wall_secs / cell.wall_secs.max(1e-9) - 1.0;
+    println!(
+        "  same shard, lifecycle tracing 1/16: {:.2}s — {:.0} events/sec ({:+.1}% wall)",
+        traced_cell.wall_secs,
+        traced_eps,
+        100.0 * trace_overhead
+    );
+
     let sweep_scale = (opts.scale / 10.0).max(0.002);
     let sweep = run_sweep(&SweepSpec {
         scenarios: Study::scenarios().all().to_vec(),
         seeds: vec![opts.seed, opts.seed + 1],
         scale: sweep_scale,
         jobs: opts.jobs,
+        trace: None,
     });
     println!(
         "  full sweep ({} cells @ scale {} on {} worker(s)): {:.2}s — {:.0} events/sec aggregate",
@@ -711,6 +900,8 @@ fn bench_report(opts: &Options) {
              \"speedup\":{speedup:.2}}},\
              \"cloud_week\":{{\"scenario\":\"{}\",\"scale\":{},\"sim_events\":{},\
              \"secs\":{:.3},\"events_per_sec\":{:.0}}},\
+             \"cloud_week_traced\":{{\"sample_every\":16,\"secs\":{:.3},\
+             \"events_per_sec\":{traced_eps:.0},\"overhead\":{trace_overhead:.3}}},\
              \"sweep\":{{\"cells\":{},\"jobs\":{},\"scale\":{},\"total_events\":{},\
              \"secs\":{:.3},\"events_per_sec\":{:.0}}}}}\n",
             cell.scenario,
@@ -718,6 +909,7 @@ fn bench_report(opts: &Options) {
             cell.sim_events,
             cell.wall_secs,
             shard_eps,
+            traced_cell.wall_secs,
             sweep.cells.len(),
             sweep.jobs,
             sweep_scale,

@@ -10,7 +10,9 @@ use odx_p2p::FailureCause;
 use odx_sim::{Ctx, FxHashMap, RngFactory, SimDuration, SimRng, SimTime, Simulation, World};
 use odx_stats::dist::u01;
 use odx_stats::{BinnedSeries, Ecdf};
-use odx_telemetry::{Counter, HistogramHandle, Registry};
+use odx_telemetry::{
+    Counter, HistogramHandle, Lifecycle, LifecycleReport, Registry, Stage, TaskEnd, TraceConfig,
+};
 use odx_trace::records::{FetchRecord, PredownloadRecord};
 use odx_trace::{Catalog, PopularityClass, Population, Workload};
 
@@ -278,6 +280,29 @@ pub struct XuanfengCloud<'a> {
     // (failures, attempts) per popularity bucket for Fig 10.
     failure_bins: Vec<(u64, u64)>,
     metrics: CloudMetrics,
+    // Per-task lifecycle tracing; None keeps the hot path one branch.
+    lifecycle: Option<Lifecycle>,
+}
+
+/// Static label for the ISP admitting an upload flow.
+fn isp_label(isp: Option<Isp>) -> &'static str {
+    match isp {
+        Some(Isp::Unicom) => "unicom",
+        Some(Isp::Telecom) => "telecom",
+        Some(Isp::Mobile) => "mobile",
+        Some(Isp::Cernet) => "cernet",
+        Some(Isp::Other) => "other",
+        None => "none",
+    }
+}
+
+/// Static label for a pre-download failure cause (§5.2 taxonomy).
+fn cause_label(cause: FailureCause) -> &'static str {
+    match cause {
+        FailureCause::InsufficientSeeds => "seeds",
+        FailureCause::PoorConnection => "connection",
+        FailureCause::SystemBug => "bug",
+    }
 }
 
 const FIG10_BIN_WIDTH: f64 = 10.0;
@@ -321,6 +346,45 @@ impl<'a> XuanfengCloud<'a> {
             counters: Counters::default(),
             failure_bins: vec![(0, 0); FIG10_BINS],
             metrics: CloudMetrics::new(odx_telemetry::global()),
+            lifecycle: None,
+        }
+    }
+
+    fn trace_instant(&self, task: u32, stage: Stage, at: SimTime, detail: Option<&'static str>) {
+        if let Some(lifecycle) = &self.lifecycle {
+            lifecycle.tasks.instant(u64::from(task), stage, at.as_millis(), detail);
+        }
+    }
+
+    fn trace_span(
+        &self,
+        task: u32,
+        stage: Stage,
+        start: SimTime,
+        end: SimTime,
+        detail: Option<&'static str>,
+    ) {
+        if let Some(lifecycle) = &self.lifecycle {
+            lifecycle.tasks.span(
+                u64::from(task),
+                stage,
+                start.as_millis(),
+                end.as_millis(),
+                detail,
+            );
+        }
+    }
+
+    /// Record a task's terminal outcome; anomalous terminals also dump
+    /// the flight recorder's recent-event ring.
+    fn trace_finish(&self, task: u32, end: TaskEnd, at: SimTime, anomaly: Option<&'static str>) {
+        if let Some(lifecycle) = &self.lifecycle {
+            lifecycle.tasks.finish(u64::from(task), end, at.as_millis());
+            if let Some(kind) = anomaly {
+                if lifecycle.tasks.sampled(u64::from(task)) {
+                    lifecycle.flight.dump(u64::from(task), kind, at.as_millis());
+                }
+            }
         }
     }
 
@@ -354,24 +418,63 @@ impl<'a> XuanfengCloud<'a> {
         rngs: &RngFactory,
         registry: &Registry,
     ) -> WeekReport {
+        Self::replay_inner(catalog, population, workload, cfg, rngs, registry, None).0
+    }
+
+    /// Run the full replay with per-task lifecycle tracing on: every
+    /// sampled task gets a [`odx_telemetry::TaskTrace`] covering arrival,
+    /// cache/dedup lookups, pre-downloading, queueing, upload admission,
+    /// and the fetch, and anomalous terminals dump the flight recorder.
+    /// All trace timestamps are virtual, so the returned
+    /// [`LifecycleReport`] is byte-identical across same-seed runs.
+    pub fn replay_traced(
+        catalog: &Catalog,
+        population: &Population,
+        workload: &Workload,
+        cfg: CloudConfig,
+        rngs: &RngFactory,
+        registry: &Registry,
+        trace: &TraceConfig,
+    ) -> (WeekReport, LifecycleReport) {
+        let (report, lifecycle) =
+            Self::replay_inner(catalog, population, workload, cfg, rngs, registry, Some(trace));
+        (report, lifecycle.expect("tracing was requested"))
+    }
+
+    fn replay_inner(
+        catalog: &Catalog,
+        population: &Population,
+        workload: &Workload,
+        cfg: CloudConfig,
+        rngs: &RngFactory,
+        registry: &Registry,
+        trace: Option<&TraceConfig>,
+    ) -> (WeekReport, Option<LifecycleReport>) {
         let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
         world.metrics = CloudMetrics::new(registry);
         world.backend.rebind_metrics(registry);
+        world.lifecycle = trace.map(Lifecycle::new);
+        let flight = world.lifecycle.as_ref().map(|lifecycle| lifecycle.flight.clone());
         // Every request is scheduled up front and spawns at most a couple of
         // follow-up events, so sizing the queue to the workload means the
         // heap and slab never grow mid-replay.
         let mut sim = Simulation::with_capacity(world, workload.len() + 16);
         sim.attach_telemetry(registry.clone());
+        if let Some(flight) = flight {
+            sim.attach_flight_recorder(flight);
+        }
         for (i, r) in workload.requests().iter().enumerate() {
             sim.schedule_at(r.at, Ev::Arrive(i as u32));
         }
         sim.run_to_completion();
-        let report = sim.into_world().into_report();
+        let mut world = sim.into_world();
+        let lifecycle = world.lifecycle.take().map(|lifecycle| lifecycle.report());
+        let report = world.into_report();
         registry.gauge("cloud.hit_ratio").set(report.hit_ratio());
         registry.gauge("cloud.failure_ratio").set(report.failure_ratio());
         registry.gauge("cloud.rejection_ratio").set(report.rejection_ratio());
         registry.gauge("cloud.impeded_ratio").set(report.impeded_ratio());
-        report
+        (report, lifecycle)
     }
 
     fn into_report(self) -> WeekReport {
@@ -452,6 +555,8 @@ impl<'a> XuanfengCloud<'a> {
             self.counters.rejected_fetches += 1;
             self.counters.impeded_fetches += 1;
             self.metrics.fetch_impeded.inc();
+            self.trace_instant(req, Stage::Admission, now, Some("reject"));
+            self.trace_finish(req, TaskEnd::Rejected, now, Some("rejection"));
             self.fetches.push(FetchRecord {
                 user_id: request.user,
                 isp: user.isp,
@@ -492,6 +597,12 @@ impl<'a> XuanfengCloud<'a> {
                 self.counters.impeded_dynamics += 1;
             }
         }
+        self.trace_instant(
+            req,
+            Stage::Admission,
+            now,
+            Some(isp_label(plan.admission.server_isp())),
+        );
         ctx.schedule_in(
             SimDuration::from_secs_f64(secs),
             Ev::FetchEnd {
@@ -508,6 +619,15 @@ impl<'a> XuanfengCloud<'a> {
 impl World for XuanfengCloud<'_> {
     type Event = Ev;
 
+    fn event_label(&self, event: &Ev) -> &'static str {
+        match event {
+            Ev::Arrive(_) => "arrive",
+            Ev::PredlDone { .. } => "predl_done",
+            Ev::FetchBegin { .. } => "fetch_begin",
+            Ev::FetchEnd { .. } => "fetch_end",
+        }
+    }
+
     fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
         match ev {
             Ev::Arrive(req) => {
@@ -518,6 +638,7 @@ impl World for XuanfengCloud<'_> {
                 self.db.state_mut(file_idx).observed_requests += 1;
                 self.note_request(file_idx);
                 let now = ctx.now();
+                self.trace_instant(req, Stage::Arrival, now, None);
 
                 if self.db.state(file_idx).cached {
                     self.pool_cache.touch(&file_idx);
@@ -526,6 +647,8 @@ impl World for XuanfengCloud<'_> {
                     self.predownloads.push(self.hit_record(now));
                     self.pd_delay_ms[req as usize] = 0;
                     let think = self.think_after_hit();
+                    self.trace_instant(req, Stage::CacheLookup, now, Some("hit"));
+                    self.trace_span(req, Stage::Queue, now, now + think, None);
                     ctx.schedule_in(think, Ev::FetchBegin { req });
                 } else if let Some(pending) = self.pending.get_mut(&file_idx) {
                     // Another user's pre-download is already in flight; this
@@ -534,8 +657,12 @@ impl World for XuanfengCloud<'_> {
                     self.counters.cache_hits += 1;
                     self.metrics.cache_hit.inc();
                     self.metrics.dedup_joined.inc();
+                    self.trace_instant(req, Stage::CacheLookup, now, Some("miss"));
+                    self.trace_instant(req, Stage::DedupLookup, now, Some("joined"));
                 } else {
                     self.metrics.cache_miss.inc();
+                    self.trace_instant(req, Stage::CacheLookup, now, Some("miss"));
+                    self.trace_instant(req, Stage::DedupLookup, now, Some("initiated"));
                     let file = self.catalog.file(file_idx);
                     let prior = self.db.state(file_idx).failed_attempts;
                     let outcome = self.backend.predownload(file, prior);
@@ -578,6 +705,9 @@ impl World for XuanfengCloud<'_> {
                             self.metrics.predownload_delay_ms.record(delay_ms);
                             self.pd_delay_ms[*req as usize] = delay_ms;
                             let think = self.think_after_predownload();
+                            let detail = if i == 0 { "initiator" } else { "joined" };
+                            self.trace_span(*req, Stage::Predownload, *arrived, now, Some(detail));
+                            self.trace_span(*req, Stage::Queue, now, now + think, None);
                             ctx.schedule_in(think, Ev::FetchBegin { req: *req });
                         }
                     }
@@ -593,7 +723,6 @@ impl World for XuanfengCloud<'_> {
                         self.counters.cache_hits -= n - 1;
                         self.counters.predownload_traffic_mb += traffic_mb;
                         for (req, arrived) in &pending.waiters {
-                            let _ = req;
                             self.predownloads.push(PredownloadRecord {
                                 start: *arrived,
                                 finish: now,
@@ -605,6 +734,14 @@ impl World for XuanfengCloud<'_> {
                                 success: false,
                                 failure_cause: Some(cause),
                             });
+                            self.trace_span(
+                                *req,
+                                Stage::Predownload,
+                                *arrived,
+                                now,
+                                Some(cause_label(cause)),
+                            );
+                            self.trace_finish(*req, TaskEnd::Stagnated, now, Some("stagnation"));
                         }
                     }
                 }
@@ -640,6 +777,8 @@ impl World for XuanfengCloud<'_> {
                     pd_delay: SimDuration::from_millis(self.pd_delay_ms[req as usize]),
                     fetch_delay: delay,
                 });
+                self.trace_span(req, Stage::Fetch, began, now, None);
+                self.trace_finish(req, TaskEnd::Completed, now, None);
                 let file = self.catalog.file(request.file);
                 let hot = file.class() == PopularityClass::HighlyPopular;
                 self.burden.add_rate_interval(
@@ -825,6 +964,90 @@ mod tests {
         assert_eq!(admitted + snap_a.counters["cloud.upload.reject"], report.fetches.len() as u64);
         // The sim hooks saw every scheduled event.
         assert!(snap_a.counters["sim.events"] >= report.counters.requests);
+    }
+
+    #[test]
+    fn lifecycle_spans_tile_completion_times_exactly() {
+        let registry = odx_telemetry::Registry::new();
+        let rngs = RngFactory::new(122);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(122);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.002), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.002), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let (report, lifecycle) = XuanfengCloud::replay_traced(
+            &catalog,
+            &population,
+            &workload,
+            CloudConfig::at_scale(0.002),
+            &rngs,
+            &registry,
+            &TraceConfig::full(),
+        );
+        assert_eq!(lifecycle.traces.traces.len(), report.counters.requests as usize);
+        // Per task: the timed stages tile arrival → terminal exactly.
+        let mut ended = 0u64;
+        for trace in &lifecycle.traces.traces {
+            let Some(completion) = trace.completion_ms() else { continue };
+            ended += 1;
+            let timed: u64 = [Stage::Predownload, Stage::Queue, Stage::Fetch]
+                .into_iter()
+                .map(|s| trace.stage_ms(s))
+                .sum();
+            assert_eq!(timed, completion, "task {} spans do not tile", trace.task);
+        }
+        assert!(ended > 0);
+        // And therefore in aggregate: the attribution's stage total equals
+        // its completion total (the waterfall sums to 100 %).
+        let attribution = lifecycle.attribution();
+        assert_eq!(attribution.total_stage_ms(), attribution.total_completion_ms);
+        assert_eq!(attribution.tasks, ended);
+        assert_eq!(
+            attribution.ends[TaskEnd::Stagnated.index()],
+            report.counters.predownload_failures
+        );
+        assert_eq!(attribution.ends[TaskEnd::Rejected.index()], report.counters.rejected_fetches);
+        assert_eq!(attribution.ends[TaskEnd::Completed.index()], report.counters.completed_fetches);
+        // Every anomalous terminal produced a flight dump (up to the cap).
+        let anomalies = report.counters.predownload_failures + report.counters.rejected_fetches;
+        assert_eq!(lifecycle.flight.dumps.len() as u64 + lifecycle.flight.dropped_dumps, anomalies);
+        assert!(lifecycle.flight.dumps.iter().all(|d| !d.recent.is_empty()));
+    }
+
+    #[test]
+    fn lifecycle_trace_is_deterministic_and_sampling_drops_whole_tasks() {
+        let run = |sample| {
+            let registry = odx_telemetry::Registry::new();
+            let rngs = RngFactory::new(123);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+            let catalog = Catalog::generate(&CatalogConfig::scaled(0.001), &mut rng);
+            let population = Population::generate(&PopulationConfig::scaled(0.001), &mut rng);
+            let workload =
+                Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+            XuanfengCloud::replay_traced(
+                &catalog,
+                &population,
+                &workload,
+                CloudConfig::at_scale(0.001),
+                &rngs,
+                &registry,
+                &TraceConfig::sampled(sample),
+            )
+            .1
+        };
+        let full_a = run(1);
+        let full_b = run(1);
+        assert_eq!(full_a.traces.to_chrome_json(), full_b.traces.to_chrome_json());
+        assert_eq!(full_a.attribution(), full_b.attribution());
+        assert_eq!(full_a.flight.to_json(), full_b.flight.to_json());
+        // Sampling keeps every 7th task, each with its complete span set.
+        let sampled = run(7);
+        assert!(!sampled.traces.traces.is_empty());
+        for trace in &sampled.traces.traces {
+            assert_eq!(trace.task % 7, 0);
+            let full = full_a.traces.get(trace.task).expect("task exists in the full trace");
+            assert_eq!(trace, full, "sampling must never truncate a task's spans");
+        }
     }
 
     #[test]

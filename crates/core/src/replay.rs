@@ -15,8 +15,9 @@ use odx_backend::{
     ProxyRequest, SmartApBackend, SmartApBenchmark, UserDeviceBackend,
 };
 use odx_net::HD_THRESHOLD_KBPS;
-use odx_sim::RngFactory;
+use odx_sim::{RngFactory, SimDuration};
 use odx_stats::Ecdf;
+use odx_telemetry::{Lifecycle, LifecycleReport, Stage, TaskEnd, TraceConfig};
 use odx_trace::{PopularityClass, SampledRequest};
 use serde::Serialize;
 
@@ -179,6 +180,29 @@ impl OdrReplay {
     /// the replay's fleet (the §6.2 environment uses the three benchmark
     /// boxes).
     pub fn run(&self, sample: &[SampledRequest], rngs: &RngFactory) -> OdrEvalReport {
+        self.run_inner(sample, rngs, None).0
+    }
+
+    /// Replay `sample` with per-task lifecycle tracing: each task records
+    /// its ODR routing verdict as a decision instant and its backend
+    /// execution as a timed span on the replay's sequential virtual
+    /// clock; failures dump the flight recorder.
+    pub fn run_traced(
+        &self,
+        sample: &[SampledRequest],
+        rngs: &RngFactory,
+        trace: &TraceConfig,
+    ) -> (OdrEvalReport, LifecycleReport) {
+        let (report, lifecycle) = self.run_inner(sample, rngs, Some(Lifecycle::new(trace)));
+        (report, lifecycle.expect("tracing was requested"))
+    }
+
+    fn run_inner(
+        &self,
+        sample: &[SampledRequest],
+        rngs: &RngFactory,
+        lifecycle: Option<Lifecycle>,
+    ) -> (OdrEvalReport, Option<LifecycleReport>) {
         // Per-file cloud state shared across the replay — the collaborative
         // cache and retry history every cloud-side backend reads and writes.
         let mut cloud_state = CloudContentState::new();
@@ -213,6 +237,9 @@ impl OdrReplay {
                 .map(|b| (b, registry.counter(&format!("odr.bottleneck.{}", b.key()))))
                 .collect();
 
+        // The evaluation replays its sample sequentially; the traced
+        // variant lays tasks end to end on one virtual clock.
+        let mut clock = SimDuration::ZERO;
         for (i, req) in sample.iter().enumerate() {
             let mut rng = rngs.stream_indexed("odr-task", i as u64);
             let ap = self.fleet[i % self.fleet.len()];
@@ -258,6 +285,31 @@ impl OdrReplay {
             if !out.success {
                 failures_counter.inc();
             }
+            if let Some(lifecycle) = &lifecycle {
+                let task = i as u64;
+                let start = clock.as_millis();
+                let end = (clock + out.duration).as_millis();
+                let decision = match verdict.decision {
+                    Decision::UserDevice => "user_device",
+                    Decision::Cloud => "cloud",
+                    Decision::SmartAp => "smart_ap",
+                    Decision::CloudThenSmartAp => "cloud_then_smart_ap",
+                    Decision::CloudPredownload => "cloud_predownload",
+                };
+                lifecycle.tasks.instant(task, Stage::Arrival, start, None);
+                lifecycle.tasks.instant(task, Stage::Decision, start, Some(decision));
+                lifecycle.tasks.span(task, Stage::Fetch, start, end, Some(decision));
+                lifecycle.flight.record(start, "odr_task");
+                if out.success {
+                    lifecycle.tasks.finish(task, TaskEnd::Completed, end);
+                } else {
+                    lifecycle.tasks.finish(task, TaskEnd::Failed, end);
+                    if lifecycle.tasks.sampled(task) {
+                        lifecycle.flight.dump(task, "failure", end);
+                    }
+                }
+            }
+            clock = clock + out.duration;
             tasks.push(OdrTask {
                 request: *req,
                 verdict,
@@ -274,7 +326,10 @@ impl OdrReplay {
             SmartApBenchmark::replay_fleet(sample, &self.fleet, &rngs.child("odr-baseline-ap"));
         let baseline_cloud_upload_mb = sample.iter().map(|r| r.size_mb).sum();
 
-        OdrEvalReport { tasks, baseline_ap, baseline_cloud_upload_mb }
+        (
+            OdrEvalReport { tasks, baseline_ap, baseline_cloud_upload_mb },
+            lifecycle.map(|lifecycle| lifecycle.report()),
+        )
     }
 }
 
@@ -385,5 +440,32 @@ mod tests {
         let b = eval(500, 167);
         assert_eq!(a.failure_ratio(), b.failure_ratio());
         assert_eq!(a.impeded_ratio(), b.impeded_ratio());
+    }
+
+    #[test]
+    fn traced_replay_records_decisions_and_tiles_durations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(169);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let sample = sample_eval_workload(&workload, &catalog, &population, 400, &mut rng);
+        let plain = OdrReplay::default().run(&sample, &RngFactory::new(169));
+        let (traced, lifecycle) =
+            OdrReplay::default().run_traced(&sample, &RngFactory::new(169), &TraceConfig::full());
+        // Tracing must not perturb the evaluation.
+        assert_eq!(plain.failure_ratio(), traced.failure_ratio());
+        assert_eq!(lifecycle.traces.traces.len(), sample.len());
+        for (trace, task) in lifecycle.traces.traces.iter().zip(traced.tasks()) {
+            // Every task carries its routing verdict as a decision instant.
+            let decision =
+                trace.spans.iter().find(|s| s.stage == Stage::Decision).expect("decision instant");
+            assert!(decision.detail.is_some());
+            assert_eq!(trace.completion_ms(), Some(trace.stage_ms(Stage::Fetch)));
+            let expected = if task.success { TaskEnd::Completed } else { TaskEnd::Failed };
+            assert_eq!(trace.end.map(|(end, _)| end), Some(expected));
+        }
+        let failures = traced.tasks().iter().filter(|t| !t.success).count() as u64;
+        assert_eq!(lifecycle.flight.dumps.len() as u64 + lifecycle.flight.dropped_dumps, failures);
     }
 }

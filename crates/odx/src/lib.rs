@@ -42,6 +42,7 @@ use odx_backend::{ApBenchReport, Scenario, ScenarioRegistry, SmartApBenchmark};
 use odx_cloud::{CloudConfig, WeekReport, XuanfengCloud};
 use odx_odr::replay::{OdrEvalReport, OdrReplay};
 use odx_sim::RngFactory;
+use odx_telemetry::{LifecycleReport, Registry, TraceConfig};
 use odx_trace::{
     sample_benchmark_workload, sample_eval_workload, Catalog, CatalogConfig, Population,
     PopulationConfig, SampledRequest, Workload, WorkloadConfig,
@@ -117,6 +118,55 @@ impl Study {
     /// Replay the week with an explicit cloud config (ablations).
     pub fn replay_cloud_with(&self, cfg: CloudConfig) -> WeekReport {
         XuanfengCloud::replay(&self.catalog, &self.population, &self.workload, cfg, &self.rngs)
+    }
+
+    /// Replay the week under a scenario with per-task lifecycle tracing:
+    /// returns the week report plus a deterministic [`LifecycleReport`]
+    /// (sampled task traces, latency attribution, flight-recorder dumps).
+    pub fn replay_cloud_traced(
+        &self,
+        scenario: &Scenario,
+        registry: &Registry,
+        trace: &TraceConfig,
+    ) -> (WeekReport, LifecycleReport) {
+        XuanfengCloud::replay_traced(
+            &self.catalog,
+            &self.population,
+            &self.workload,
+            self.scenario_cloud_config(scenario),
+            &self.rngs,
+            registry,
+            trace,
+        )
+    }
+
+    /// Run the §5.1 benchmark under a scenario with lifecycle tracing.
+    pub fn replay_smart_aps_traced(
+        &self,
+        n: usize,
+        scenario: &Scenario,
+        trace: &TraceConfig,
+    ) -> (ApBenchReport, LifecycleReport) {
+        SmartApBenchmark::replay_fleet_traced(
+            &self.benchmark_sample(n),
+            &scenario.ap_fleet,
+            &self.rngs.child("smartap"),
+            trace,
+        )
+    }
+
+    /// Run the §6.2 evaluation under a scenario with lifecycle tracing.
+    pub fn replay_odr_traced(
+        &self,
+        n: usize,
+        scenario: &Scenario,
+        trace: &TraceConfig,
+    ) -> (OdrEvalReport, LifecycleReport) {
+        OdrReplay::for_scenario(scenario).run_traced(
+            &self.eval_sample(n),
+            &self.rngs.child("odr"),
+            trace,
+        )
     }
 
     /// Draw the §5.1 sampled workload (`n` Unicom requests with recorded

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use odx_backend::Scenario;
 use odx_cloud::XuanfengCloud;
-use odx_telemetry::Registry;
+use odx_telemetry::{Attribution, Registry, TraceConfig};
 
 use crate::Study;
 
@@ -42,6 +42,10 @@ pub struct SweepSpec {
     /// Worker threads to execute shards on (clamped to ≥ 1; the merged
     /// deterministic output does not depend on this).
     pub jobs: usize,
+    /// Per-task lifecycle tracing for every cell (`None` = off, the
+    /// default for sweeps). When set, each cell computes a latency
+    /// [`Attribution`] that merges across shards.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SweepSpec {
@@ -90,24 +94,43 @@ pub struct SweepCell {
     /// Shard wall-clock seconds — perf only, excluded from the
     /// deterministic exports.
     pub wall_secs: f64,
+    /// The shard's latency attribution when the sweep traced lifecycles.
+    pub attribution: Option<Attribution>,
 }
 
 impl SweepCell {
     /// Run one shard: generate the study and replay the cloud week with a
     /// private registry, entirely independent of every other shard.
-    fn run(scenario: &Scenario, seed: u64, scale: f64) -> SweepCell {
+    fn run(scenario: &Scenario, seed: u64, scale: f64, trace: Option<&TraceConfig>) -> SweepCell {
         let start = Instant::now();
         let registry = Registry::new();
         let study = Study::generate_scenario(scale, seed, scenario);
         let cfg = study.scenario_cloud_config(scenario);
-        let report = XuanfengCloud::replay_with_registry(
-            &study.catalog,
-            &study.population,
-            &study.workload,
-            cfg,
-            &study.rngs,
-            &registry,
-        );
+        let (report, attribution) = match trace {
+            None => (
+                XuanfengCloud::replay_with_registry(
+                    &study.catalog,
+                    &study.population,
+                    &study.workload,
+                    cfg,
+                    &study.rngs,
+                    &registry,
+                ),
+                None,
+            ),
+            Some(trace) => {
+                let (report, lifecycle) = XuanfengCloud::replay_traced(
+                    &study.catalog,
+                    &study.population,
+                    &study.workload,
+                    cfg,
+                    &study.rngs,
+                    &registry,
+                    trace,
+                );
+                (report, Some(lifecycle.attribution()))
+            }
+        };
         let sim_events = registry.snapshot().counters.get("sim.events").copied().unwrap_or(0);
         SweepCell {
             scenario: scenario.name,
@@ -124,6 +147,7 @@ impl SweepCell {
             impeded_ratio: report.impeded_ratio(),
             sim_events,
             wall_secs: start.elapsed().as_secs_f64(),
+            attribution,
         }
     }
 }
@@ -149,6 +173,37 @@ impl SweepReport {
     /// total wall time). Nondeterministic; for perf reporting only.
     pub fn events_per_sec(&self) -> f64 {
         self.total_events() as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// The sweep-wide latency attribution: per-shard attributions merged
+    /// in `(scenario, seed)` order. `None` when the sweep ran untraced.
+    /// Merging is exact, so this equals a single-shard attribution over
+    /// the union of the cells' tasks regardless of worker count.
+    pub fn attribution(&self) -> Option<Attribution> {
+        let mut merged: Option<Attribution> = None;
+        for cell in &self.cells {
+            let Some(attribution) = &cell.attribution else { continue };
+            merged.get_or_insert_with(Attribution::default).merge(attribution);
+        }
+        merged
+    }
+
+    /// Propagate per-shard perf into `registry`'s wall section (satellite
+    /// of the PR-3 sweep work: per-shard events/sec used to be lost when
+    /// only the merged footer was printed). Wall entries are
+    /// nondeterministic by design and stay out of the deterministic
+    /// exports.
+    pub fn record_wall(&self, registry: &Registry) {
+        for cell in &self.cells {
+            let prefix = format!("sweep.{}.{}", cell.scenario, cell.seed);
+            registry.set_wall(&format!("{prefix}.wall_secs"), cell.wall_secs);
+            registry.set_wall(
+                &format!("{prefix}.events_per_sec"),
+                cell.sim_events as f64 / cell.wall_secs.max(1e-9),
+            );
+        }
+        registry.set_wall("sweep.wall_secs", self.wall_secs);
+        registry.set_wall("sweep.events_per_sec", self.events_per_sec());
     }
 
     /// The deterministic merged report as a compact JSON document:
@@ -226,7 +281,11 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
     let mut results: Vec<Option<SweepCell>> = Vec::with_capacity(cells.len());
     if jobs == 1 {
         // Inline path: same per-cell code, no threads to reason about.
-        results.extend(cells.iter().map(|(s, seed)| Some(SweepCell::run(s, *seed, spec.scale))));
+        results.extend(
+            cells
+                .iter()
+                .map(|(s, seed)| Some(SweepCell::run(s, *seed, spec.scale, spec.trace.as_ref()))),
+        );
     } else {
         let slots: Vec<Mutex<Option<SweepCell>>> = cells.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -235,7 +294,7 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some((scenario, seed)) = cells.get(i) else { break };
-                    let cell = SweepCell::run(scenario, *seed, spec.scale);
+                    let cell = SweepCell::run(scenario, *seed, spec.scale, spec.trace.as_ref());
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(cell);
                 });
             }
@@ -271,6 +330,7 @@ mod tests {
             seeds: vec![2015, 2016],
             scale: 0.0005,
             jobs,
+            trace: None,
         }
     }
 
@@ -304,6 +364,42 @@ mod tests {
             }
             cells
         });
+    }
+
+    #[test]
+    fn traced_sweep_merges_attribution_identically_across_worker_counts() {
+        use odx_telemetry::TraceConfig;
+        let mut spec = tiny_spec(1);
+        spec.trace = Some(TraceConfig::full());
+        let sequential = run_sweep(&spec);
+        spec.jobs = 3;
+        let parallel = run_sweep(&spec);
+        let seq_attr = sequential.attribution().expect("traced sweep has attribution");
+        let par_attr = parallel.attribution().expect("traced sweep has attribution");
+        assert_eq!(seq_attr, par_attr);
+        assert_eq!(seq_attr.waterfall(), par_attr.waterfall());
+        // Every cell carries its own attribution, and the tiling invariant
+        // survives the merge: timed stages still account for every task.
+        assert!(sequential.cells.iter().all(|c| c.attribution.is_some()));
+        assert!(seq_attr.total_stage_ms() > 0);
+        // Untraced sweeps report no attribution at all.
+        assert!(run_sweep(&tiny_spec(1)).attribution().is_none());
+    }
+
+    #[test]
+    fn record_wall_propagates_per_shard_perf() {
+        let report = run_sweep(&tiny_spec(2));
+        let registry = Registry::new();
+        report.record_wall(&registry);
+        assert!(registry.wall("sweep.wall_secs").is_some());
+        assert!(registry.wall("sweep.events_per_sec").unwrap() > 0.0);
+        for cell in &report.cells {
+            let prefix = format!("sweep.{}.{}", cell.scenario, cell.seed);
+            assert!(registry.wall(&format!("{prefix}.wall_secs")).is_some());
+            assert!(registry.wall(&format!("{prefix}.events_per_sec")).unwrap() > 0.0);
+        }
+        // Wall entries stay out of the deterministic export.
+        assert!(!registry.snapshot().to_json().contains("sweep."));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
-use odx_telemetry::{Counter, Gauge, Registry};
+use odx_telemetry::{Counter, FlightRecorder, Gauge, Registry};
 
 /// Cached metric handles for an instrumented [`Simulation`].
 struct SimTelemetry {
@@ -31,6 +31,14 @@ pub trait World {
 
     /// React to `event` firing at `ctx.now()`.
     fn handle(&mut self, ctx: &mut Ctx<Self::Event>, event: Self::Event);
+
+    /// A static label describing `event`, recorded into an attached
+    /// flight recorder before dispatch. Worlds that want meaningful
+    /// flight dumps override this; the default keeps uninstrumented
+    /// worlds zero-cost.
+    fn event_label(&self, _event: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Scheduling context handed to event handlers: the current time plus the
@@ -71,6 +79,7 @@ pub struct Simulation<W: World> {
     now: SimTime,
     processed: u64,
     telemetry: Option<SimTelemetry>,
+    flight: Option<FlightRecorder>,
 }
 
 impl<W: World> Simulation<W> {
@@ -82,6 +91,7 @@ impl<W: World> Simulation<W> {
             now: SimTime::ZERO,
             processed: 0,
             telemetry: None,
+            flight: None,
         }
     }
 
@@ -96,6 +106,7 @@ impl<W: World> Simulation<W> {
             now: SimTime::ZERO,
             processed: 0,
             telemetry: None,
+            flight: None,
         }
     }
 
@@ -105,6 +116,14 @@ impl<W: World> Simulation<W> {
     /// a `sim.run` span stamped with virtual time.
     pub fn attach_telemetry(&mut self, registry: Registry) {
         self.telemetry = Some(SimTelemetry::new(registry));
+    }
+
+    /// Attach a flight recorder. Each processed event is recorded as
+    /// `(virtual ms, World::event_label)` before dispatch, so anomaly
+    /// dumps carry the causal event history leading up to them. Costs
+    /// nothing when not attached (the hot loop checks one `Option`).
+    pub fn attach_flight_recorder(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// The current simulation time.
@@ -148,6 +167,9 @@ impl<W: World> Simulation<W> {
             Some((time, event)) => {
                 debug_assert!(time >= self.now, "event queue must be monotone");
                 self.now = time;
+                if let Some(flight) = &self.flight {
+                    flight.record(time.as_millis(), self.world.event_label(&event));
+                }
                 let mut ctx = Ctx { now: self.now, queue: &mut self.queue };
                 self.world.handle(&mut ctx, event);
                 self.processed += 1;
@@ -272,6 +294,34 @@ mod tests {
             sim.into_world().log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flight_recorder_sees_every_event_with_labels() {
+        struct Labeled(Recorder);
+        impl World for Labeled {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+                self.0.handle(ctx, ev)
+            }
+            fn event_label(&self, event: &Ev) -> &'static str {
+                match event {
+                    Ev::Mark(_) => "mark",
+                    Ev::Chain(..) => "chain",
+                }
+            }
+        }
+        let flight = FlightRecorder::new(8, 4);
+        let mut sim = Simulation::new(Labeled(Recorder::default()));
+        sim.attach_flight_recorder(flight.clone());
+        sim.schedule_at(SimTime::from_millis(10), Ev::Mark("a"));
+        sim.schedule_at(SimTime::from_millis(20), Ev::Chain("c", 1));
+        sim.run_to_completion();
+        flight.dump(0, "failure", sim.now().as_millis());
+        let snap = flight.snapshot();
+        assert_eq!(snap.recorded, 3);
+        let labels: Vec<&str> = snap.dumps[0].recent.iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["mark", "chain", "chain"]);
     }
 
     #[test]

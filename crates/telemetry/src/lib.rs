@@ -32,13 +32,22 @@
 
 #![warn(missing_docs)]
 
+mod chrome;
 mod export;
+mod flight;
 mod hist;
 mod registry;
+mod task;
 mod trace;
 
+pub use chrome::{validate_chrome_trace, ChromeTraceStats};
+pub use flight::{FlightDump, FlightEvent, FlightRecorder, FlightSnapshot};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry, Snapshot};
+pub use task::{
+    Attribution, Lifecycle, LifecycleReport, Stage, StageAgg, TaskEnd, TaskSpan, TaskTrace,
+    TaskTraceSet, TaskTracer, TraceConfig,
+};
 pub use trace::{SpanEvent, SpanKind, TraceSnapshot, Tracer};
 
 use std::sync::OnceLock;

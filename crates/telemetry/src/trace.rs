@@ -110,9 +110,25 @@ impl Tracer {
     }
 
     /// Copy out the recorded events and drop count.
+    ///
+    /// Events are ordered by `(at_ms, id, kind)` — not insertion order —
+    /// so exports are stable even when spans were recorded from sweep
+    /// worker threads racing on the shared tracer.
     pub fn snapshot(&self) -> TraceSnapshot {
         let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        TraceSnapshot { events: state.events.clone(), dropped: state.dropped }
+        let mut events = state.events.clone();
+        events.sort_by_key(|e| (e.at_ms, e.id, kind_order(e.kind)));
+        TraceSnapshot { events, dropped: state.dropped }
+    }
+}
+
+/// Sort rank breaking `(at_ms, id)` ties: a span opens before its
+/// instants and closes last.
+fn kind_order(kind: SpanKind) -> u8 {
+    match kind {
+        SpanKind::Open => 0,
+        SpanKind::Instant => 1,
+        SpanKind::Close => 2,
     }
 }
 
@@ -168,6 +184,23 @@ mod tests {
         let snap = tracer.snapshot();
         assert_eq!(snap.events.len(), 2);
         assert_eq!(snap.dropped, 1);
+    }
+
+    #[test]
+    fn snapshot_orders_by_time_then_id_not_insertion() {
+        let tracer = Tracer::default();
+        // Simulate out-of-order recording from racing worker threads.
+        let late = tracer.open("late", 50);
+        let early = tracer.open("early", 10);
+        tracer.close("late", late, 90);
+        tracer.close("early", early, 20);
+        tracer.instant("mark", 50);
+        let events = tracer.snapshot().events;
+        let order: Vec<(u64, &str)> = events.iter().map(|e| (e.at_ms, e.name.as_str())).collect();
+        assert_eq!(
+            order,
+            vec![(10, "early"), (20, "early"), (50, "late"), (50, "mark"), (90, "late")]
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ fn spec(seed: u64, n_scenarios: usize, jobs: usize) -> SweepSpec {
         seeds: vec![seed, seed + 1],
         scale: 0.0005,
         jobs,
+        trace: None,
     }
 }
 
