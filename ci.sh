@@ -37,6 +37,15 @@ diff "$SWEEP_TMP/j1/sweep.json" "$SWEEP_TMP/j4/sweep.json"
 diff "$SWEEP_TMP/j1/sweep.csv" "$SWEEP_TMP/j4/sweep.csv"
 echo "sweep snapshots identical"
 
+echo "== cache-compare smoke: all policies x 2 seeds, --jobs invariant =="
+cargo run --release -p odx-bench --bin repro -- cache-compare \
+  --scenario all --seeds 2 --jobs 1 --scale 0.001 --out "$SWEEP_TMP/cc1"
+cargo run --release -p odx-bench --bin repro -- cache-compare \
+  --scenario all --seeds 2 --jobs 4 --scale 0.001 --out "$SWEEP_TMP/cc4"
+diff "$SWEEP_TMP/cc1/cache_compare.json" "$SWEEP_TMP/cc4/cache_compare.json"
+diff "$SWEEP_TMP/cc1/cache_compare.csv" "$SWEEP_TMP/cc4/cache_compare.csv"
+echo "cache-compare snapshots identical"
+
 echo "== trace smoke: lifecycle export must be valid Chrome trace JSON =="
 cargo run --release -p odx-bench --bin repro -- trace \
   --scenario paper-default --scale 0.002 --trace-sample 4 \
@@ -48,5 +57,6 @@ cargo run --release -p odx-bench --bin repro -- attribute \
 
 echo "== criterion benches (quick mode; incl. disabled-tracing overhead) =="
 ODX_BENCH_QUICK=1 cargo bench -p odx-bench --bench des
+ODX_BENCH_QUICK=1 cargo bench -p odx-bench --bench cache
 
 echo "CI OK"

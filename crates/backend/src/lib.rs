@@ -44,6 +44,7 @@ pub use apbench::{ApBenchReport, ApTaskRecord, SmartApBenchmark};
 pub use backends::{CloudAssistedApBackend, CloudBackend, SmartApBackend, UserDeviceBackend};
 pub use config::{apply_dynamics, BackendConfig};
 pub use metrics::BackendMetrics;
+pub use odx_cache::{CacheConfig, PolicyKind};
 pub use outcome::Outcome;
 pub use request::{ApContext, CloudContentState, ExecCtx, ProxyRequest};
 pub use scenario::{Scenario, ScenarioRegistry};

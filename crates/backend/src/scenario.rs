@@ -1,6 +1,7 @@
 //! Named experiment presets: one value that configures backends, workload
 //! tweaks, and the AP fleet. `repro --scenario NAME` resolves here.
 
+use odx_cache::CacheConfig;
 use odx_net::{Isp, IspMix};
 use odx_storage::{DeviceKind, FsKind};
 
@@ -25,6 +26,13 @@ pub struct Scenario {
     /// Whether the cloud's collaborative cache is enabled (the §4.3
     /// ablation turns it off).
     pub cache_enabled: bool,
+    /// The pool's replacement policy and shard count (`repro cache-compare`
+    /// sweeps the policy axis; every preset defaults to single-shard LRU).
+    pub cache: CacheConfig,
+    /// Multiplier on the pool's byte budget. `1.0` is the paper's 2 PB at
+    /// scale 1.0; the `cache-pressure` preset shrinks it so replacement
+    /// policies actually differ (at full capacity nothing ever evicts).
+    pub cache_capacity_factor: f64,
     /// Whether the cloud's privileged intra-ISP paths are enabled (the
     /// §4.2 ablation turns them off).
     pub privileged_paths: bool,
@@ -47,6 +55,8 @@ impl Scenario {
             summary,
             backend: BackendConfig::default(),
             cache_enabled: true,
+            cache: CacheConfig::default(),
+            cache_capacity_factor: 1.0,
             privileged_paths: true,
             demand_factor: 1.0,
             cernet_share: None,
@@ -84,8 +94,8 @@ impl Default for ScenarioRegistry {
 }
 
 impl ScenarioRegistry {
-    /// The six built-in presets: the paper baseline, the three ablations
-    /// the repro harness always ran, and two new what-ifs.
+    /// The built-in presets: the paper baseline, the ablations the repro
+    /// harness always ran, the what-ifs, and the cache-pressure stress.
     pub fn builtin() -> ScenarioRegistry {
         let mut cernet_heavy = Scenario::baseline(
             "cernet-heavy",
@@ -121,6 +131,12 @@ impl ScenarioRegistry {
         );
         sweep_userbase.demand_factor = 1.5;
 
+        let mut cache_pressure = Scenario::baseline(
+            "cache-pressure",
+            "stress: pool shrunk to 2 % of the paper's budget (replacement policies diverge)",
+        );
+        cache_pressure.cache_capacity_factor = 0.02;
+
         ScenarioRegistry {
             scenarios: vec![
                 Scenario::baseline(
@@ -132,6 +148,7 @@ impl ScenarioRegistry {
                 sweep_userbase,
                 cernet_heavy,
                 usb3_aps,
+                cache_pressure,
             ],
         }
     }
@@ -165,6 +182,8 @@ impl ScenarioRegistry {
 
 #[cfg(test)]
 mod tests {
+    use odx_cache::PolicyKind;
+
     use super::*;
 
     #[test]
@@ -177,6 +196,7 @@ mod tests {
             "sweep-userbase",
             "cernet-heavy",
             "usb3-aps",
+            "cache-pressure",
         ] {
             assert!(reg.get(name).is_some(), "missing scenario {name}");
         }
@@ -243,5 +263,24 @@ mod tests {
         assert!(!reg.get("ablate-privileged").unwrap().privileged_paths);
         assert!(reg.get("ablate-privileged").unwrap().cache_enabled);
         assert_eq!(reg.get("sweep-userbase").unwrap().demand_factor, 1.5);
+    }
+
+    #[test]
+    fn every_preset_defaults_to_single_shard_lru() {
+        let reg = ScenarioRegistry::builtin();
+        for s in reg.all() {
+            assert_eq!(s.cache.policy, PolicyKind::Lru, "{} policy", s.name);
+            assert_eq!(s.cache.shards, 1, "{} shards", s.name);
+        }
+    }
+
+    #[test]
+    fn cache_pressure_shrinks_only_the_pool() {
+        let reg = ScenarioRegistry::builtin();
+        let s = reg.get("cache-pressure").unwrap();
+        assert_eq!(s.cache_capacity_factor, 0.02);
+        assert!(s.cache_enabled && s.privileged_paths);
+        assert_eq!(s.demand_factor, 1.0);
+        assert_eq!(reg.get("paper-default").unwrap().cache_capacity_factor, 1.0);
     }
 }

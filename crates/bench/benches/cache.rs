@@ -1,0 +1,83 @@
+//! Cache-policy benchmarks: per-policy churn on a synthetic LCG workload
+//! (mirrors the `repro bench` cache section) and a cloud-week shard under
+//! the `cache-pressure` preset for each policy. `ODX_BENCH_QUICK=1` (set
+//! by `ci.sh`) shrinks op counts and scales so the suite doubles as a
+//! smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use odx::cache::{PolicyKind, ShardedCache};
+use odx::sweep::{policy_variants, run_sweep, SweepSpec};
+use odx::Study;
+
+fn quick() -> bool {
+    std::env::var_os("ODX_BENCH_QUICK").is_some()
+}
+
+/// The `repro bench` churn shape: LCG-driven 50/50 lookup/insert mix over
+/// a 4096-key universe at a budget tight enough to keep eviction hot.
+fn churn(cache: &mut dyn odx::cache::CachePolicy, ops: u64) -> u64 {
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    let mut touched = 0u64;
+    for op in 0..ops {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = (x >> 40) % 4096;
+        if x & 1 == 0 {
+            touched += u64::from(cache.lookup(key, op).is_some());
+        } else {
+            let size_mb = 1.0 + ((x >> 16) % 64) as f64;
+            touched += cache.insert(key, size_mb, op).len() as u64;
+        }
+    }
+    touched
+}
+
+fn bench_policy_churn(c: &mut Criterion) {
+    let ops: u64 = if quick() { 20_000 } else { 100_000 };
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(if quick() { 2 } else { 10 });
+    for policy in PolicyKind::ALL {
+        group.bench_function(&format!("churn_{}", policy.name()), |b| {
+            b.iter(|| {
+                let mut cache = policy.build(5_000.0, 1024);
+                black_box(churn(cache.as_mut(), ops))
+            })
+        });
+    }
+    // The sharded wrapper's FxHash routing overhead on the same workload.
+    group.bench_function("churn_lru_4shards", |b| {
+        b.iter(|| {
+            let mut cache = ShardedCache::new(PolicyKind::Lru, 5_000.0, 4, 1024);
+            black_box(churn(&mut cache, ops))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_pressure_week(c: &mut Criterion) {
+    let scale = if quick() { 0.001 } else { 0.005 };
+    let registry = Study::scenarios();
+    let base = vec![*registry.get("cache-pressure").expect("builtin preset")];
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(2);
+    for policy in PolicyKind::ALL {
+        let scenarios = policy_variants(&base, &[policy]);
+        group.bench_function(&format!("cloud_week_pressure_{}", policy.name()), |b| {
+            b.iter(|| {
+                let report = run_sweep(&SweepSpec {
+                    scenarios: scenarios.clone(),
+                    seeds: vec![2015],
+                    scale,
+                    jobs: 1,
+                    trace: None,
+                });
+                black_box(report.total_events())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_churn, bench_cache_pressure_week);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! cargo run --release -p odx-bench --bin repro -- fig8 fig9
 //! cargo run --release -p odx-bench --bin repro -- headline --scenario ablate-cache
 //! cargo run --release -p odx-bench --bin repro -- sweep --scenario all --seeds 5 --jobs 4
+//! cargo run --release -p odx-bench --bin repro -- cache-compare --scenario all --seeds 3
 //! cargo run --release -p odx-bench --bin repro -- attribute --scenario paper-default
 //! cargo run --release -p odx-bench --bin repro -- trace --out trace.json
 //! cargo run --release -p odx-bench --bin repro -- bench --json BENCH_pr3.json
@@ -15,10 +16,18 @@
 //! Commands: `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 headline fig13
 //! fig14 table2 fig15 fig16 fig17 ablate-cache ablate-privileged
 //! ablate-storage ablate-dedup ablate-ledbat ablate-concurrency sweep-userbase sweep-cache
-//! attribute trace check-trace sweep bench export-traces list all`.
-//! (`attribute`, `trace`, `check-trace`, `sweep`, `bench`, and
-//! `export-traces` are opt-in — they are not part of `all`; `list` prints
-//! the available commands and scenario presets.)
+//! attribute trace check-trace sweep cache-compare bench export-traces list all`.
+//! (`attribute`, `trace`, `check-trace`, `sweep`, `cache-compare`, `bench`,
+//! and `export-traces` are opt-in — they are not part of `all`; `list`
+//! prints the available commands, scenario presets, and cache policies.)
+
+//! `cache-compare` sweeps every cache replacement policy (or just
+//! `--policy NAME`) across the selected scenarios × seeds on the sweep
+//! pool and prints per-policy offloading ratios against the paper's
+//! headline numbers; its merged output is byte-identical for any `--jobs`.
+//! For every other command `--policy NAME` swaps the pool's replacement
+//! policy in the active scenario (the default everywhere is `lru`, the
+//! paper's pool).
 //!
 //! `--scenario NAME` (default `paper-default`) resolves a preset from the
 //! scenario registry and applies it to workload generation and every
@@ -52,6 +61,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use odx::backend::Scenario;
+use odx::cache::PolicyKind;
 use odx::cloud::{CloudConfig, WeekReport};
 use odx::net::kbps_to_gbps;
 use odx::odr::replay::OdrEvalReport;
@@ -91,6 +101,7 @@ const COMMANDS: &[&str] = &[
     "trace",
     "check-trace",
     "sweep",
+    "cache-compare",
     "bench",
     "export-traces",
     "list",
@@ -117,6 +128,9 @@ struct Options {
     metrics: Option<PathBuf>,
     /// Where `bench` writes its wall-clock JSON report.
     json: Option<PathBuf>,
+    /// `--policy`: restrict `cache-compare` to one policy, and swap the
+    /// pool policy of the active scenario for every other command.
+    policy: Option<PolicyKind>,
 }
 
 impl Options {
@@ -137,14 +151,18 @@ fn print_usage(out: &mut dyn Write) {
     let _ = writeln!(out, "  {}", COMMANDS.join(" "));
     let _ = writeln!(
         out,
-        "flags: --scenario NAME --scale F --seed N --seeds N --jobs N --sample N \
+        "flags: --scenario NAME --policy NAME --scale F --seed N --seeds N --jobs N --sample N \
          --trace-sample N --out DIR --metrics FILE --json FILE"
     );
     let _ = writeln!(out, "scenarios (--scenario):");
     for s in Study::scenarios().all() {
         let _ = writeln!(out, "  {:<18} {}", s.name, s.summary);
     }
-    let _ = writeln!(out, "  {:<18} every preset above (sweep only)", "all");
+    let _ = writeln!(out, "  {:<18} every preset above (sweep / cache-compare)", "all");
+    let _ = writeln!(out, "cache policies (--policy / cache-compare):");
+    for p in PolicyKind::ALL {
+        let _ = writeln!(out, "  {:<18} {}", p.name(), p.summary());
+    }
 }
 
 /// Reject `what` with the usage listing on stderr and a non-zero exit.
@@ -169,6 +187,7 @@ fn parse_args() -> Options {
     let mut out = None;
     let mut metrics = None;
     let mut json = None;
+    let mut policy = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -183,6 +202,13 @@ fn parse_args() -> Options {
                     };
                 }
                 scenario_selector = name;
+            }
+            "--policy" => {
+                let name = args.next().expect("--policy value");
+                policy = match PolicyKind::parse(&name) {
+                    Some(p) => Some(p),
+                    None => usage_error(&format!("cache policy `{name}`")),
+                };
             }
             "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
@@ -206,6 +232,11 @@ fn parse_args() -> Options {
     if commands.is_empty() {
         commands.insert("all".to_owned());
     }
+    // `--policy` reconfigures the active scenario's pool for the
+    // single-scenario commands; `cache-compare` reads it as an axis filter.
+    if let Some(policy) = policy {
+        scenario.cache.policy = policy;
+    }
     Options {
         commands,
         scenario,
@@ -219,6 +250,7 @@ fn parse_args() -> Options {
         out,
         metrics,
         json,
+        policy,
     }
 }
 
@@ -257,13 +289,18 @@ fn main() {
     if opts.commands.contains("sweep") {
         sweep_grid(&opts);
     }
+    if opts.commands.contains("cache-compare") {
+        cache_compare(&opts);
+    }
     if opts.commands.contains("bench") {
         bench_report(&opts);
     }
-    let only_standalone = opts
-        .commands
-        .iter()
-        .all(|c| matches!(c.as_str(), "sweep" | "bench" | "attribute" | "trace" | "check-trace"));
+    let only_standalone = opts.commands.iter().all(|c| {
+        matches!(
+            c.as_str(),
+            "sweep" | "cache-compare" | "bench" | "attribute" | "trace" | "check-trace"
+        )
+    });
     if only_standalone {
         write_metrics(&opts);
         return;
@@ -797,6 +834,91 @@ fn sweep_grid(opts: &Options) {
     }
 }
 
+/// `cache-compare`: sweep every replacement policy (or just `--policy`)
+/// across the selected scenarios × seeds on the shared sweep pool, then
+/// print per-policy offloading means against the paper's §2.1/§4.1
+/// headlines (89 % cache hit, 8.7 % pre-download failure). Cells merge in
+/// spec order, so the table and the `--out` snapshots are byte-identical
+/// for any `--jobs`.
+fn cache_compare(opts: &Options) {
+    use odx::sweep::{policy_variants, run_sweep, SweepSpec};
+    let scenarios = Study::scenarios()
+        .resolve(&opts.scenario_selector)
+        .unwrap_or_else(|| usage_error(&format!("scenario `{}`", opts.scenario_selector)));
+    let policies: Vec<PolicyKind> = match opts.policy {
+        Some(p) => vec![p],
+        None => PolicyKind::ALL.to_vec(),
+    };
+    let variants = policy_variants(&scenarios, &policies);
+    let seeds: Vec<u64> = (0..opts.seeds as u64).map(|i| opts.seed + i).collect();
+    section(&format!(
+        "Cache compare — {} scenario(s) × {} polic{} × {} seed(s) at scale {} on {} worker(s)",
+        scenarios.len(),
+        policies.len(),
+        if policies.len() == 1 { "y" } else { "ies" },
+        seeds.len(),
+        opts.scale,
+        opts.jobs
+    ));
+    let spec = SweepSpec {
+        scenarios: variants.clone(),
+        seeds,
+        scale: opts.scale,
+        jobs: opts.jobs,
+        trace: None,
+    };
+    let report = run_sweep(&spec);
+    report.record_wall(odx_telemetry::global());
+    println!(
+        "  {:<28} {:>6} {:>9} {:>6} {:>6} {:>9} {:>10}",
+        "scenario/policy", "seed", "requests", "hit%", "fail%", "misses", "events"
+    );
+    for c in &report.cells {
+        println!(
+            "  {:<28} {:>6} {:>9} {:>6.1} {:>6.1} {:>9} {:>10}",
+            c.scenario,
+            c.seed,
+            c.requests,
+            100.0 * c.hit_ratio,
+            100.0 * c.failure_ratio,
+            c.requests - c.cache_hits,
+            c.sim_events
+        );
+    }
+    println!("  means per policy vs the paper (hit 89.0 %, failure 8.7 %):");
+    for variant in &variants {
+        let cells: Vec<_> = report.cells.iter().filter(|c| c.scenario == variant.name).collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let n = cells.len() as f64;
+        let hit = 100.0 * cells.iter().map(|c| c.hit_ratio).sum::<f64>() / n;
+        let fail = 100.0 * cells.iter().map(|c| c.failure_ratio).sum::<f64>() / n;
+        println!(
+            "  {:<28} hit {:>5.1}% (\u{0394}{:+5.1})   failure {:>5.1}% (\u{0394}{:+5.1})",
+            variant.name,
+            hit,
+            hit - 89.0,
+            fail,
+            fail - 8.7
+        );
+    }
+    println!(
+        "  {} cell(s) on {} worker(s) in {:.2}s — {:.0} events/sec aggregate",
+        report.cells.len(),
+        report.jobs,
+        report.wall_secs,
+        report.events_per_sec()
+    );
+    if let Some(dir) = out_dir(opts) {
+        let json_path = dir.join("cache_compare.json");
+        let csv_path = dir.join("cache_compare.csv");
+        std::fs::write(&json_path, report.to_json()).expect("write cache_compare.json");
+        std::fs::write(&csv_path, report.to_csv()).expect("write cache_compare.csv");
+        println!("  [deterministic snapshots → {} / {}]", json_path.display(), csv_path.display());
+    }
+}
+
 /// One deterministic churn workload over either event-queue implementation:
 /// `n` schedules at LCG-drawn times, ~60 % cancels of random earlier ids,
 /// pops interleaved every 7th op, then a full drain. Identical call
@@ -892,6 +1014,44 @@ fn bench_report(opts: &Options) {
         sweep.events_per_sec()
     );
 
+    // Per-policy cache churn: one LCG-driven lookup/insert mix per policy
+    // at a budget tight enough to keep eviction on the hot path. Purely a
+    // wall-clock probe — correctness is pinned by the odx-cache tests.
+    let cache_ops: usize = 200_000;
+    println!("  cache churn ({cache_ops} ops, 4096-key universe, 5 GB budget):");
+    let mut cache_json = String::from("{");
+    for (i, policy) in PolicyKind::ALL.iter().enumerate() {
+        let mut cache = policy.build(5_000.0, 1024);
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut hits = 0u64;
+        let mut evictions = 0u64;
+        let start = std::time::Instant::now();
+        for op in 0..cache_ops as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 40) % 4096;
+            if x & 1 == 0 {
+                hits += u64::from(cache.lookup(key, op).is_some());
+            } else {
+                let size_mb = 1.0 + ((x >> 16) % 64) as f64;
+                evictions += cache.insert(key, size_mb, op).len() as u64;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let ops_per_sec = cache_ops as f64 / secs.max(1e-9);
+        println!(
+            "    {:<8} {ops_per_sec:>12.0} ops/sec  ({secs:.3}s, {hits} hits, {evictions} evictions)",
+            policy.name()
+        );
+        if i > 0 {
+            cache_json.push(',');
+        }
+        cache_json.push_str(&format!(
+            "\"{}\":{{\"secs\":{secs:.3},\"ops_per_sec\":{ops_per_sec:.0},             \"hits\":{hits},\"evictions\":{evictions}}}",
+            policy.name()
+        ));
+    }
+    cache_json.push('}');
+
     if let Some(path) = &opts.json {
         let json = format!(
             "{{\"event_queue_churn\":{{\"schedules\":{ops},\"fired\":{slab_pops},\
@@ -903,7 +1063,8 @@ fn bench_report(opts: &Options) {
              \"cloud_week_traced\":{{\"sample_every\":16,\"secs\":{:.3},\
              \"events_per_sec\":{traced_eps:.0},\"overhead\":{trace_overhead:.3}}},\
              \"sweep\":{{\"cells\":{},\"jobs\":{},\"scale\":{},\"total_events\":{},\
-             \"secs\":{:.3},\"events_per_sec\":{:.0}}}}}\n",
+             \"secs\":{:.3},\"events_per_sec\":{:.0}}},\
+             \"cache_churn\":{{\"ops\":{cache_ops},\"policies\":{cache_json}}}}}\n",
             cell.scenario,
             opts.scale,
             cell.sim_events,

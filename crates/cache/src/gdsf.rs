@@ -1,0 +1,236 @@
+//! Greedy-Dual-Size-Frequency (GDSF).
+//!
+//! Priority is `L + freq / size`: small, frequently-hit files get high
+//! priority, huge lukewarm ones get evicted first. `L` is the classic
+//! inflation term — it is bumped to the priority of whatever was last
+//! evicted, so long-resident entries must keep earning hits to stay above
+//! the rising waterline. With ~GB downloads sharing a pool with ~MB
+//! archives, size-awareness is exactly the axis the paper's workload
+//! stresses.
+
+use std::collections::BTreeSet;
+
+use odx_sim::FxHashMap;
+
+use crate::{CachePolicy, PolicyKind};
+
+/// `f64` with a total order (IEEE-754 `total_cmp`) so priorities can live in
+/// a `BTreeSet`. Priorities are always finite here (sizes are clamped away
+/// from zero), so the exotic corners of `total_cmp` never matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Entry {
+    size_mb: f64,
+    freq: u64,
+    seq: u64,
+    pri: f64,
+}
+
+/// Byte-budget GDSF cache (size-aware priorities with inflation).
+pub struct GdsfCache {
+    capacity_mb: f64,
+    used_mb: f64,
+    map: FxHashMap<u64, Entry>,
+    // Eviction order: (priority, seq, key), lowest priority first; ties
+    // resolve FIFO by insertion sequence.
+    order: BTreeSet<(OrdF64, u64, u64)>,
+    next_seq: u64,
+    /// The inflation waterline: priority of the last eviction.
+    inflation: f64,
+}
+
+impl GdsfCache {
+    /// A cache holding at most `capacity_mb` megabytes.
+    pub fn new(capacity_mb: f64) -> Self {
+        GdsfCache::with_capacity(capacity_mb, 0)
+    }
+
+    /// A cache holding at most `capacity_mb` megabytes, preallocated for
+    /// roughly `entries` resident files.
+    pub fn with_capacity(capacity_mb: f64, entries: usize) -> Self {
+        assert!(capacity_mb > 0.0, "capacity must be positive");
+        let mut map = FxHashMap::default();
+        map.reserve(entries);
+        GdsfCache {
+            capacity_mb,
+            used_mb: 0.0,
+            map,
+            order: BTreeSet::new(),
+            next_seq: 0,
+            inflation: 0.0,
+        }
+    }
+
+    fn priority(&self, freq: u64, size_mb: f64) -> f64 {
+        self.inflation + freq as f64 / size_mb.max(1e-6)
+    }
+
+    fn evict_min(&mut self) -> Option<u64> {
+        let &(pri, seq, key) = self.order.iter().next()?;
+        self.order.remove(&(pri, seq, key));
+        let entry = self.map.remove(&key).expect("order entry without map entry");
+        self.used_mb -= entry.size_mb;
+        self.inflation = pri.0;
+        Some(key)
+    }
+}
+
+impl CachePolicy for GdsfCache {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Gdsf
+    }
+
+    fn lookup(&mut self, key: u64, _now_ms: u64) -> Option<f64> {
+        let inflation = self.inflation;
+        let entry = self.map.get_mut(&key)?;
+        self.order.remove(&(OrdF64(entry.pri), entry.seq, key));
+        entry.freq += 1;
+        entry.pri = inflation + entry.freq as f64 / entry.size_mb.max(1e-6);
+        self.order.insert((OrdF64(entry.pri), entry.seq, key));
+        Some(entry.size_mb)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn insert(&mut self, key: u64, size_mb: f64, _now_ms: u64) -> Vec<u64> {
+        assert!(size_mb >= 0.0 && size_mb.is_finite(), "bad size");
+        if let Some(entry) = self.map.get(&key) {
+            let (freq, seq) = (entry.freq, entry.seq);
+            self.order.remove(&(OrdF64(entry.pri), seq, key));
+            let pri = self.priority(freq + 1, size_mb);
+            let entry = self.map.get_mut(&key).expect("checked above");
+            self.used_mb += size_mb - entry.size_mb;
+            entry.size_mb = size_mb;
+            entry.freq = freq + 1;
+            entry.pri = pri;
+            self.order.insert((OrdF64(pri), seq, key));
+        } else {
+            let pri = self.priority(1, size_mb);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.map.insert(key, Entry { size_mb, freq: 1, seq, pri });
+            self.order.insert((OrdF64(pri), seq, key));
+            self.used_mb += size_mb;
+        }
+        let mut evicted = Vec::new();
+        while self.used_mb > self.capacity_mb {
+            match self.evict_min() {
+                Some(k) => evicted.push(k),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    fn remove(&mut self, key: u64) -> Option<f64> {
+        let entry = self.map.remove(&key)?;
+        self.order.remove(&(OrdF64(entry.pri), entry.seq, key));
+        self.used_mb -= entry.size_mb;
+        Some(entry.size_mb)
+    }
+
+    fn used_mb(&self) -> f64 {
+        self.used_mb
+    }
+
+    fn capacity_mb(&self) -> f64 {
+        self.capacity_mb
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_cold_files_go_first() {
+        let mut c = GdsfCache::new(100.0);
+        c.insert(1, 80.0, 0); // pri 1/80
+        c.insert(2, 1.0, 0); // pri 1/1
+        let evicted = c.insert(3, 40.0, 0);
+        assert_eq!(evicted, vec![1], "the big file has the lowest pri");
+        assert!(c.contains(2) && c.contains(3));
+    }
+
+    #[test]
+    fn frequency_rescues_a_big_file() {
+        let mut c = GdsfCache::new(100.0);
+        c.insert(1, 60.0, 0);
+        for _ in 0..100 {
+            c.lookup(1, 0); // freq 101: pri ~1.68
+        }
+        c.insert(2, 35.0, 0); // pri 1/35
+        let evicted = c.insert(3, 30.0, 0); // pri 1/30
+                                            // Key 2 (lowest pri) goes, not the hot big file.
+        assert_eq!(evicted, vec![2]);
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn inflation_lets_new_content_displace_old() {
+        let mut c = GdsfCache::new(10.0);
+        c.insert(1, 5.0, 0);
+        c.lookup(1, 0);
+        c.lookup(1, 0); // freq 3, pri 0.6
+                        // Churn through distinct keys: each eviction raises the waterline,
+                        // so eventually fresh freq-1 inserts out-prioritise the stale hot
+                        // entry even though its absolute freq is higher.
+        let mut old_evicted = false;
+        for k in 10..200 {
+            if c.insert(k, 5.0, 0).contains(&1) {
+                old_evicted = true;
+                break;
+            }
+        }
+        assert!(old_evicted, "inflation must age out stale content");
+    }
+
+    #[test]
+    fn cascade_keeps_budget() {
+        let mut c = GdsfCache::new(100.0);
+        for k in 0..10 {
+            c.insert(k, 10.0, 0);
+        }
+        c.insert(99, 95.0, 0);
+        assert!(c.used_mb() <= c.capacity_mb());
+    }
+
+    #[test]
+    fn dedup_refreshes_and_resizes() {
+        let mut c = GdsfCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        c.insert(1, 70.0, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_mb(), 70.0);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = GdsfCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        assert_eq!(c.remove(1), Some(40.0));
+        assert_eq!(c.remove(1), None);
+        assert!(c.is_empty());
+    }
+}

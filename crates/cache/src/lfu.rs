@@ -1,0 +1,246 @@
+//! LFU with periodic aging.
+//!
+//! Plain LFU has a well-known pathology on weekly traces: content that was
+//! hot on Monday accumulates enough frequency to pin itself in the cache
+//! for the rest of the week. We age the whole cache on the virtual clock —
+//! every virtual day, every frequency halves — so "recently popular" beats
+//! "formerly popular" with about a one-day half-life.
+
+use std::collections::BTreeSet;
+
+use odx_sim::FxHashMap;
+
+use crate::{CachePolicy, PolicyKind};
+
+/// Frequencies halve once per virtual day.
+const AGE_EPOCH_MS: u64 = 86_400_000;
+
+struct Entry {
+    size_mb: f64,
+    freq: u64,
+    seq: u64,
+}
+
+/// Byte-budget LFU with day-granularity aging.
+pub struct LfuCache {
+    capacity_mb: f64,
+    used_mb: f64,
+    map: FxHashMap<u64, Entry>,
+    // Eviction order: (freq, seq, key) — least-frequent first, FIFO within a
+    // frequency class. A BTreeSet keeps iteration deterministic (no hash
+    // order leaks into eviction decisions).
+    order: BTreeSet<(u64, u64, u64)>,
+    next_seq: u64,
+    next_age_ms: u64,
+}
+
+impl LfuCache {
+    /// A cache holding at most `capacity_mb` megabytes.
+    pub fn new(capacity_mb: f64) -> Self {
+        LfuCache::with_capacity(capacity_mb, 0)
+    }
+
+    /// A cache holding at most `capacity_mb` megabytes, preallocated for
+    /// roughly `entries` resident files.
+    pub fn with_capacity(capacity_mb: f64, entries: usize) -> Self {
+        assert!(capacity_mb > 0.0, "capacity must be positive");
+        let mut map = FxHashMap::default();
+        map.reserve(entries);
+        LfuCache {
+            capacity_mb,
+            used_mb: 0.0,
+            map,
+            order: BTreeSet::new(),
+            next_seq: 0,
+            next_age_ms: AGE_EPOCH_MS,
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Halve every frequency once per elapsed epoch (one rebuild no matter
+    /// how many epochs passed — halving is a right-shift).
+    fn maybe_age(&mut self, now_ms: u64) {
+        if now_ms < self.next_age_ms {
+            return;
+        }
+        let epochs = 1 + (now_ms - self.next_age_ms) / AGE_EPOCH_MS;
+        self.next_age_ms += epochs * AGE_EPOCH_MS;
+        let shift = epochs.min(63) as u32;
+        self.order.clear();
+        // Map iteration order doesn't leak: each entry is updated
+        // independently and the rebuilt BTreeSet is order-insensitive.
+        for (&key, entry) in &mut self.map {
+            entry.freq = (entry.freq >> shift).max(1);
+            self.order.insert((entry.freq, entry.seq, key));
+        }
+    }
+
+    fn evict_min(&mut self) -> Option<u64> {
+        let &(freq, seq, key) = self.order.iter().next()?;
+        self.order.remove(&(freq, seq, key));
+        let entry = self.map.remove(&key).expect("order entry without map entry");
+        self.used_mb -= entry.size_mb;
+        Some(key)
+    }
+}
+
+impl CachePolicy for LfuCache {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lfu
+    }
+
+    fn lookup(&mut self, key: u64, now_ms: u64) -> Option<f64> {
+        self.maybe_age(now_ms);
+        let entry = self.map.get_mut(&key)?;
+        self.order.remove(&(entry.freq, entry.seq, key));
+        entry.freq += 1;
+        self.order.insert((entry.freq, entry.seq, key));
+        Some(entry.size_mb)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn insert(&mut self, key: u64, size_mb: f64, now_ms: u64) -> Vec<u64> {
+        assert!(size_mb >= 0.0 && size_mb.is_finite(), "bad size");
+        self.maybe_age(now_ms);
+        if let Some(entry) = self.map.get_mut(&key) {
+            // Dedup refresh: frequency credit plus in-place size update.
+            self.used_mb += size_mb - entry.size_mb;
+            self.order.remove(&(entry.freq, entry.seq, key));
+            entry.size_mb = size_mb;
+            entry.freq += 1;
+            self.order.insert((entry.freq, entry.seq, key));
+        } else {
+            let seq = self.bump_seq();
+            self.map.insert(key, Entry { size_mb, freq: 1, seq });
+            self.order.insert((1, seq, key));
+            self.used_mb += size_mb;
+        }
+        let mut evicted = Vec::new();
+        while self.used_mb > self.capacity_mb {
+            match self.evict_min() {
+                // The newly inserted key has the highest seq in its
+                // frequency class, so it goes last — but it *can* go (an
+                // oversized or colder-than-everything file is refused, and
+                // the returned list says so).
+                Some(k) => evicted.push(k),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    fn remove(&mut self, key: u64) -> Option<f64> {
+        let entry = self.map.remove(&key)?;
+        self.order.remove(&(entry.freq, entry.seq, key));
+        self.used_mb -= entry.size_mb;
+        Some(entry.size_mb)
+    }
+
+    fn used_mb(&self) -> f64 {
+        self.used_mb
+    }
+
+    fn capacity_mb(&self) -> f64 {
+        self.capacity_mb
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_frequently_used() {
+        let mut c = LfuCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        c.insert(2, 40.0, 0);
+        c.lookup(1, 0); // key 1: freq 2, key 2: freq 1
+        let evicted = c.insert(3, 40.0, 0);
+        assert_eq!(evicted, vec![2]);
+        assert!(c.contains(1) && c.contains(3));
+    }
+
+    #[test]
+    fn fifo_within_a_frequency_class() {
+        let mut c = LfuCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        c.insert(2, 40.0, 0);
+        // Both freq 1 — the older insertion (key 1) goes first.
+        let evicted = c.insert(3, 40.0, 0);
+        assert_eq!(evicted, vec![1]);
+    }
+
+    #[test]
+    fn aging_halves_frequencies() {
+        let mut c = LfuCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        for _ in 0..6 {
+            c.lookup(1, 0); // freq 7
+        }
+        c.insert(2, 40.0, 0); // freq 1
+                              // Three quiet days halve the favourite 7 → 3 → 1 → 1: it is back in
+                              // the freq-1 class, where its older seq makes it the first victim.
+        let later = 3 * AGE_EPOCH_MS;
+        for _ in 0..4 {
+            c.lookup(2, later);
+        }
+        let evicted = c.insert(3, 40.0, later);
+        assert_eq!(evicted, vec![1], "aged-out content loses to recent hits");
+    }
+
+    #[test]
+    fn colder_than_everything_is_refused() {
+        let mut c = LfuCache::new(100.0);
+        c.insert(1, 50.0, 0);
+        c.insert(2, 50.0, 0);
+        c.lookup(1, 0);
+        c.lookup(2, 0); // both freq 2
+        let evicted = c.insert(3, 60.0, 0);
+        // Key 3 (freq 1) is the eviction minimum itself.
+        assert_eq!(evicted, vec![3]);
+        assert!(!c.contains(3));
+        assert!(c.used_mb() <= c.capacity_mb());
+    }
+
+    #[test]
+    fn cascade_keeps_budget() {
+        let mut c = LfuCache::new(100.0);
+        for k in 0..10 {
+            c.insert(k, 10.0, 0);
+        }
+        let evicted = c.insert(99, 95.0, 0);
+        assert!(c.used_mb() <= c.capacity_mb());
+        assert!(evicted.len() >= 9);
+    }
+
+    #[test]
+    fn dedup_refreshes_and_resizes() {
+        let mut c = LfuCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        c.insert(1, 70.0, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_mb(), 70.0);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = LfuCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        assert_eq!(c.remove(1), Some(40.0));
+        assert_eq!(c.remove(1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.used_mb(), 0.0);
+    }
+}

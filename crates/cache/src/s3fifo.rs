@@ -1,0 +1,345 @@
+//! S3-FIFO-style admission (small FIFO + main FIFO + ghost list).
+//!
+//! The workload motivation: offline-downloading request streams are heavy
+//! on one-hit wonders (a user fetches one obscure torrent nobody else ever
+//! asks for). Under LRU each of those walks the whole way through the
+//! cache, displacing proven content. S3-FIFO quarantines first-timers in a
+//! small probationary FIFO (~10 % of the byte budget): entries that take a
+//! hit there get promoted to the main FIFO, the rest fall out cheaply. A
+//! ghost list of recently evicted keys (metadata only, no bytes) routes
+//! quick re-requests straight into main — TinyLFU-style admission without
+//! the sketch.
+//!
+//! Everything is FIFO-ordered and counter-based, so determinism is free.
+
+use std::collections::VecDeque;
+
+use odx_sim::{FxHashMap, FxHashSet};
+
+use crate::{CachePolicy, PolicyKind};
+
+/// Fraction of the byte budget given to the probationary FIFO.
+const SMALL_FRACTION: f64 = 0.1;
+
+/// Hit counters saturate here (2 bits in the paper; 3 distinguishes enough).
+const FREQ_CAP: u8 = 3;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    Small,
+    Main,
+}
+
+struct Entry {
+    size_mb: f64,
+    freq: u8,
+    queue: Queue,
+}
+
+/// Byte-budget S3-FIFO cache with ghost-list admission.
+pub struct S3FifoCache {
+    capacity_mb: f64,
+    small_capacity_mb: f64,
+    used_mb: f64,
+    small_used_mb: f64,
+    map: FxHashMap<u64, Entry>,
+    // FIFOs hold keys; entries demoted/promoted elsewhere are deleted
+    // lazily (a popped key whose map entry moved queues is stale — skip).
+    small: VecDeque<u64>,
+    main: VecDeque<u64>,
+    ghost: VecDeque<u64>,
+    ghost_set: FxHashSet<u64>,
+}
+
+impl S3FifoCache {
+    /// A cache holding at most `capacity_mb` megabytes.
+    pub fn new(capacity_mb: f64) -> Self {
+        S3FifoCache::with_capacity(capacity_mb, 0)
+    }
+
+    /// A cache holding at most `capacity_mb` megabytes, preallocated for
+    /// roughly `entries` resident files.
+    pub fn with_capacity(capacity_mb: f64, entries: usize) -> Self {
+        assert!(capacity_mb > 0.0, "capacity must be positive");
+        let mut map = FxHashMap::default();
+        map.reserve(entries);
+        S3FifoCache {
+            capacity_mb,
+            small_capacity_mb: capacity_mb * SMALL_FRACTION,
+            used_mb: 0.0,
+            small_used_mb: 0.0,
+            map,
+            small: VecDeque::new(),
+            main: VecDeque::new(),
+            ghost: VecDeque::new(),
+            ghost_set: FxHashSet::default(),
+        }
+    }
+
+    fn ghost_push(&mut self, key: u64) {
+        if self.ghost_set.insert(key) {
+            self.ghost.push_back(key);
+        }
+        // Bound ghost metadata to roughly the resident population.
+        let cap = self.map.len().max(16);
+        while self.ghost_set.len() > cap {
+            match self.ghost.pop_front() {
+                Some(k) => {
+                    self.ghost_set.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Pop the next *live* small-queue key, skipping stale entries.
+    fn pop_small(&mut self) -> Option<u64> {
+        while let Some(key) = self.small.pop_front() {
+            if self.map.get(&key).is_some_and(|e| e.queue == Queue::Small) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    fn pop_main(&mut self) -> Option<u64> {
+        while let Some(key) = self.main.pop_front() {
+            if self.map.get(&key).is_some_and(|e| e.queue == Queue::Main) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Evict one victim from the small FIFO: hit entries promote to main,
+    /// the rest go to the ghost list. Returns the evicted key, if any entry
+    /// was actually evicted (promotions keep scanning).
+    fn evict_from_small(&mut self) -> Option<u64> {
+        while let Some(key) = self.pop_small() {
+            let entry = self.map.get_mut(&key).expect("pop_small returned a live key");
+            if entry.freq > 0 {
+                // Earned a hit during probation — promote.
+                entry.queue = Queue::Main;
+                entry.freq = 0;
+                self.small_used_mb -= entry.size_mb;
+                self.main.push_back(key);
+            } else {
+                let size = entry.size_mb;
+                self.map.remove(&key);
+                self.small_used_mb -= size;
+                self.used_mb -= size;
+                self.ghost_push(key);
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Evict one victim from the main FIFO (second-chance on freq).
+    fn evict_from_main(&mut self) -> Option<u64> {
+        while let Some(key) = self.pop_main() {
+            let entry = self.map.get_mut(&key).expect("pop_main returned a live key");
+            if entry.freq > 0 {
+                entry.freq -= 1;
+                self.main.push_back(key);
+            } else {
+                let size = entry.size_mb;
+                self.map.remove(&key);
+                self.used_mb -= size;
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Evict one entry, preferring the probationary FIFO while it is over
+    /// its share (the classic S3-FIFO balance rule).
+    fn evict_one(&mut self) -> Option<u64> {
+        if self.small_used_mb > self.small_capacity_mb || self.main.is_empty() {
+            if let Some(k) = self.evict_from_small() {
+                return Some(k);
+            }
+        }
+        self.evict_from_main().or_else(|| self.evict_from_small())
+    }
+}
+
+impl CachePolicy for S3FifoCache {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::S3Fifo
+    }
+
+    fn lookup(&mut self, key: u64, _now_ms: u64) -> Option<f64> {
+        let entry = self.map.get_mut(&key)?;
+        entry.freq = (entry.freq + 1).min(FREQ_CAP);
+        Some(entry.size_mb)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn insert(&mut self, key: u64, size_mb: f64, _now_ms: u64) -> Vec<u64> {
+        assert!(size_mb >= 0.0 && size_mb.is_finite(), "bad size");
+        if let Some(entry) = self.map.get_mut(&key) {
+            // Dedup refresh: frequency credit plus in-place size update.
+            let delta = size_mb - entry.size_mb;
+            entry.freq = (entry.freq + 1).min(FREQ_CAP);
+            entry.size_mb = size_mb;
+            self.used_mb += delta;
+            if entry.queue == Queue::Small {
+                self.small_used_mb += delta;
+            }
+        } else {
+            // Ghost hit: the key was evicted recently, so skip probation.
+            let queue = if self.ghost_set.remove(&key) { Queue::Main } else { Queue::Small };
+            match queue {
+                Queue::Small => {
+                    self.small.push_back(key);
+                    self.small_used_mb += size_mb;
+                }
+                Queue::Main => self.main.push_back(key),
+            }
+            self.map.insert(key, Entry { size_mb, freq: 0, queue });
+            self.used_mb += size_mb;
+        }
+        let mut evicted = Vec::new();
+        while self.used_mb > self.capacity_mb {
+            match self.evict_one() {
+                // `insert` may evict the just-inserted key itself (an
+                // oversized probationary file with no hits) — the admission
+                // contract wants exactly that reported.
+                Some(k) => evicted.push(k),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    fn remove(&mut self, key: u64) -> Option<f64> {
+        let entry = self.map.remove(&key)?;
+        self.used_mb -= entry.size_mb;
+        if entry.queue == Queue::Small {
+            self.small_used_mb -= entry.size_mb;
+        }
+        // The queue positions are cleaned up lazily by pop_small/pop_main.
+        Some(entry.size_mb)
+    }
+
+    fn used_mb(&self) -> f64 {
+        self.used_mb
+    }
+
+    fn capacity_mb(&self) -> f64 {
+        self.capacity_mb
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hit_wonders_never_reach_main() {
+        let mut c = S3FifoCache::new(100.0);
+        // Fill main with proven content: insert, hit, then churn probation.
+        c.insert(1, 30.0, 0);
+        c.lookup(1, 0);
+        // Probation churn promotes key 1 and flushes the wonders.
+        for k in 100..120 {
+            c.insert(k, 9.0, 0);
+        }
+        assert!(c.contains(1), "hit content survives probation churn");
+        let wonders = (100..120).filter(|&k| c.contains(k)).count();
+        assert!(wonders < 20, "cold inserts must churn out of probation");
+        assert!(c.used_mb() <= c.capacity_mb());
+    }
+
+    #[test]
+    fn ghost_hit_skips_probation() {
+        let mut c = S3FifoCache::new(100.0);
+        c.insert(7, 9.0, 0);
+        // Churn key 7 out of the small FIFO (no hits → ghosted).
+        for k in 100..120 {
+            c.insert(k, 9.0, 0);
+        }
+        assert!(!c.contains(7));
+        c.insert(7, 9.0, 0);
+        assert_eq!(c.map.get(&7).map(|e| e.queue == Queue::Main), Some(true));
+    }
+
+    #[test]
+    fn main_gives_second_chances() {
+        let mut c = S3FifoCache::new(100.0);
+        c.insert(1, 30.0, 0);
+        c.lookup(1, 0);
+        c.insert(2, 30.0, 0);
+        c.lookup(2, 0);
+        // Promote both into main by churning probation.
+        for k in 100..110 {
+            c.insert(k, 9.0, 0);
+        }
+        assert!(c.contains(1) && c.contains(2));
+        // Keep hitting key 2; key 1 runs out of chances first.
+        for _ in 0..4 {
+            c.lookup(2, 0);
+        }
+        // Re-insert ghosted keys: they bypass probation and squeeze main.
+        let mut evicted_first = None;
+        'churn: for k in 100..110 {
+            if c.contains(k) {
+                continue;
+            }
+            for e in c.insert(k, 9.0, 0) {
+                if e == 1 || e == 2 {
+                    evicted_first = Some(e);
+                    break 'churn;
+                }
+            }
+        }
+        assert_eq!(evicted_first, Some(1), "the colder main entry goes first");
+    }
+
+    #[test]
+    fn cascade_keeps_budget() {
+        let mut c = S3FifoCache::new(100.0);
+        for k in 0..30 {
+            c.insert(k, 10.0, 0);
+        }
+        assert!(c.used_mb() <= c.capacity_mb() + 1e-9);
+        assert!(c.len() <= 10);
+    }
+
+    #[test]
+    fn dedup_refreshes_and_resizes() {
+        let mut c = S3FifoCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        c.insert(1, 70.0, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_mb(), 70.0);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = S3FifoCache::new(100.0);
+        c.insert(1, 40.0, 0);
+        assert_eq!(c.remove(1), Some(40.0));
+        assert_eq!(c.remove(1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.used_mb(), 0.0);
+    }
+
+    #[test]
+    fn ghost_metadata_stays_bounded() {
+        let mut c = S3FifoCache::new(50.0);
+        for k in 0..10_000u64 {
+            c.insert(k, 5.0, 0);
+        }
+        assert!(c.ghost_set.len() <= c.map.len().max(16) + 1);
+        assert!(c.ghost.len() <= 32, "stale deque entries must be drained");
+    }
+}

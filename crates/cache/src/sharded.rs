@@ -1,0 +1,142 @@
+//! Deterministic FxHash sharding over any policy.
+//!
+//! Each shard is an independent policy instance with an even split of the
+//! byte budget; a key's shard is `FxHash(key) % shards`, which depends only
+//! on the key's bits — never on addresses, wall clocks, or platform — so a
+//! fixed shard count yields identical placement (and identical evictions)
+//! on every run. Changing the shard count changes eviction domains and is
+//! allowed to change results; that is a modelling knob, not nondeterminism.
+
+use std::hash::Hasher;
+
+use odx_sim::FxHasher;
+
+use crate::{CachePolicy, PolicyKind};
+
+/// A cache split into `n` deterministic FxHash shards of one policy.
+pub struct ShardedCache {
+    kind: PolicyKind,
+    shards: Vec<Box<dyn CachePolicy>>,
+}
+
+impl ShardedCache {
+    /// Split `capacity_mb` evenly across `shards` instances of `policy`,
+    /// each preallocated for its share of `entries`.
+    pub fn new(policy: PolicyKind, capacity_mb: f64, shards: usize, entries: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let per_shard_mb = capacity_mb / shards as f64;
+        let per_shard_entries = entries.div_ceil(shards);
+        ShardedCache {
+            kind: policy,
+            shards: (0..shards).map(|_| policy.build(per_shard_mb, per_shard_entries)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        let mut hasher = FxHasher::default();
+        hasher.write_u64(key);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+}
+
+impl CachePolicy for ShardedCache {
+    fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    fn lookup(&mut self, key: u64, now_ms: u64) -> Option<f64> {
+        let shard = self.shard_of(key);
+        self.shards[shard].lookup(key, now_ms)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.shards[self.shard_of(key)].contains(key)
+    }
+
+    fn insert(&mut self, key: u64, size_mb: f64, now_ms: u64) -> Vec<u64> {
+        let shard = self.shard_of(key);
+        self.shards[shard].insert(key, size_mb, now_ms)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<f64> {
+        let shard = self.shard_of(key);
+        self.shards[shard].remove(key)
+    }
+
+    fn used_mb(&self) -> f64 {
+        self.shards.iter().map(|s| s.used_mb()).sum()
+    }
+
+    fn capacity_mb(&self) -> f64 {
+        self.shards.iter().map(|s| s.capacity_mb()).sum()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable() {
+        let c = ShardedCache::new(PolicyKind::Lru, 100.0, 4, 0);
+        for key in 0..1000u64 {
+            assert_eq!(c.shard_of(key), c.shard_of(key));
+        }
+    }
+
+    #[test]
+    fn budget_splits_evenly_and_sums_back() {
+        let c = ShardedCache::new(PolicyKind::Lru, 100.0, 4, 16);
+        assert_eq!(c.shard_count(), 4);
+        assert!((c.capacity_mb() - 100.0).abs() < 1e-9);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn operations_route_to_one_shard() {
+        let mut c = ShardedCache::new(PolicyKind::Lru, 100.0, 4, 0);
+        assert!(c.insert(42, 10.0, 0).is_empty());
+        assert!(c.contains(42));
+        assert_eq!(c.lookup(42, 0), Some(10.0));
+        assert_eq!(c.len(), 1);
+        assert!((c.used_mb() - 10.0).abs() < 1e-9);
+        assert_eq!(c.remove(42), Some(10.0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn per_shard_budget_is_enforced() {
+        let mut c = ShardedCache::new(PolicyKind::Lru, 100.0, 4, 0);
+        // Hammer one key range; no shard may exceed its 25 MB slice, so the
+        // aggregate stays far below the nominal total.
+        for key in 0..100u64 {
+            c.insert(key, 5.0, 0);
+        }
+        assert!(c.used_mb() <= 100.0 + 1e-9);
+        for shard in &c.shards {
+            assert!(shard.used_mb() <= shard.capacity_mb() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn works_for_every_policy() {
+        for p in PolicyKind::ALL {
+            let mut c = ShardedCache::new(p, 80.0, 2, 8);
+            assert_eq!(c.kind(), p);
+            for key in 0..50u64 {
+                c.insert(key, 3.0, key);
+            }
+            assert!(c.used_mb() <= c.capacity_mb() + 1e-9);
+            assert!(c.len() > 0);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests shared by every cache policy.
+//!
+//! One operation-sequence generator drives all four policies (and the
+//! sharded wrapper) through the same shadow model, checking the
+//! [`CachePolicy`] contract: the byte budget always holds, residency
+//! bookkeeping matches a naive model, eviction lists are exactly the keys
+//! that stopped being resident, and identical call sequences produce
+//! identical eviction sequences.
+
+use odx_cache::{CacheConfig, CachePolicy, PolicyKind, ShardedCache};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// One step of a cache workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lookup(u64),
+    Insert(u64, f64),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..60).prop_map(Op::Lookup),
+        (0u64..60, 0.5f64..40.0).prop_map(|(k, s)| Op::Insert(k, s)),
+        (0u64..60).prop_map(Op::Remove),
+    ]
+}
+
+/// Drive `cache` through `ops` on a monotone virtual clock, checking the
+/// contract at every step against a naive residency model. Returns the
+/// flattened eviction sequence (for determinism comparisons).
+fn check_contract(cache: &mut dyn CachePolicy, ops: &[Op]) -> Result<Vec<u64>, TestCaseError> {
+    let mut model = std::collections::BTreeMap::new();
+    let mut evictions = Vec::new();
+    for (step, &op) in ops.iter().enumerate() {
+        // ~17 minutes of virtual time per step: long traces cross several
+        // LFU aging epochs.
+        let now_ms = step as u64 * 1_000_000;
+        match op {
+            Op::Lookup(key) => {
+                let hit = cache.lookup(key, now_ms);
+                prop_assert_eq!(
+                    hit.is_some(),
+                    model.contains_key(&key),
+                    "lookup must agree with residency"
+                );
+            }
+            Op::Insert(key, size) => {
+                model.insert(key, size);
+                for evicted in cache.insert(key, size, now_ms) {
+                    let known = model.remove(&evicted).is_some();
+                    prop_assert!(known, "evicted key {} was not resident", evicted);
+                    evictions.push(evicted);
+                }
+            }
+            Op::Remove(key) => {
+                let removed = cache.remove(key);
+                prop_assert_eq!(removed.is_some(), model.remove(&key).is_some());
+            }
+        }
+        prop_assert!(
+            cache.used_mb() <= cache.capacity_mb() + 1e-9,
+            "budget exceeded: {} > {}",
+            cache.used_mb(),
+            cache.capacity_mb()
+        );
+        prop_assert_eq!(cache.len(), model.len(), "residency count drifted");
+        for (&key, &size) in &model {
+            prop_assert!(cache.contains(key), "model key {} missing", key);
+            let resident = cache.lookup(key, now_ms);
+            prop_assert!(
+                resident.is_some_and(|s| (s - size).abs() < 1e-9),
+                "size drifted for key {}",
+                key
+            );
+        }
+        let model_total: f64 = model.values().sum();
+        prop_assert!(
+            (cache.used_mb() - model_total).abs() < 1e-6,
+            "used {} vs model {}",
+            cache.used_mb(),
+            model_total
+        );
+    }
+    Ok(evictions)
+}
+
+proptest! {
+    /// The full contract holds for every policy on arbitrary workloads.
+    #[test]
+    fn every_policy_honours_the_contract(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        for policy in PolicyKind::ALL {
+            let mut cache = policy.build(100.0, 16);
+            check_contract(cache.as_mut(), &ops)?;
+        }
+    }
+
+    /// Replaying the same operation sequence yields the same evictions, in
+    /// the same order — per policy, across two fresh instances.
+    #[test]
+    fn same_sequence_same_evictions(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        for policy in PolicyKind::ALL {
+            let a = check_contract(policy.build(100.0, 16).as_mut(), &ops)?;
+            let b = check_contract(policy.build(100.0, 16).as_mut(), &ops)?;
+            prop_assert_eq!(&a, &b, "policy {} diverged between runs", policy.name());
+        }
+    }
+
+    /// Tight budgets force evict-on-insert cascades, and the cascade always
+    /// restores the budget within the insert call.
+    #[test]
+    fn cascades_restore_the_budget(
+        ops in prop::collection::vec((0u64..40, 5.0f64..25.0), 10..80),
+    ) {
+        for policy in PolicyKind::ALL {
+            let mut cache = policy.build(50.0, 8);
+            let mut total_evicted = 0usize;
+            for (step, &(key, size)) in ops.iter().enumerate() {
+                total_evicted += cache.insert(key, size, step as u64 * 1_000).len();
+                prop_assert!(cache.used_mb() <= cache.capacity_mb() + 1e-9);
+            }
+            prop_assert!(
+                total_evicted > 0,
+                "a 50 MB budget under this load must evict ({})",
+                policy.name()
+            );
+        }
+    }
+
+    /// The sharded wrapper upholds the same contract for every policy.
+    #[test]
+    fn sharded_wrapper_honours_the_contract(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        shards in 2usize..5,
+    ) {
+        for policy in PolicyKind::ALL {
+            // Generous per-shard budget: admission refusals stay the inner
+            // policy's business, residency bookkeeping stays comparable.
+            let mut cache = ShardedCache::new(policy, 400.0, shards, 16);
+            check_contract(&mut cache, &ops)?;
+        }
+    }
+
+    /// A single-shard `ShardedCache` is observationally identical to the
+    /// bare policy: same evictions, same occupancy.
+    #[test]
+    fn one_shard_equals_unsharded(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        for policy in PolicyKind::ALL {
+            let mut bare = policy.build(100.0, 16);
+            let mut sharded = ShardedCache::new(policy, 100.0, 1, 16);
+            let a = check_contract(bare.as_mut(), &ops)?;
+            let b = check_contract(&mut sharded, &ops)?;
+            prop_assert_eq!(&a, &b, "policy {} diverged under 1 shard", policy.name());
+            prop_assert!((bare.used_mb() - sharded.used_mb()).abs() < 1e-9);
+            prop_assert_eq!(bare.len(), sharded.len());
+        }
+    }
+
+    /// `CacheConfig::build` round-trips policy and budget for any shard
+    /// count.
+    #[test]
+    fn config_build_preserves_kind_and_budget(shards in 1u32..6) {
+        for policy in PolicyKind::ALL {
+            let cache = CacheConfig { policy, shards }.build(120.0, 8);
+            prop_assert_eq!(cache.kind(), policy);
+            prop_assert!((cache.capacity_mb() - 120.0).abs() < 1e-9);
+            prop_assert!(cache.is_empty());
+        }
+    }
+}

@@ -1,278 +1,36 @@
-//! The collaborative cloud storage pool: byte-budget LRU with file-level
-//! deduplication (§2.1).
-//!
-//! Implemented from scratch as a hash map into an intrusive doubly-linked
-//! list over a slab, giving O(1) touch / insert / evict.
+//! Deprecated home of the pool LRU — the implementation moved to
+//! [`odx_cache`], where it is one of several [`odx_cache::CachePolicy`]
+//! implementations. This alias keeps existing `odx_cloud::LruCache` callers
+//! compiling (with a deprecation nudge) while the replay itself now goes
+//! through `CloudConfig::cache` and the policy trait.
 
-use std::hash::Hash;
-
-use odx_sim::FxHashMap;
-
-const NIL: usize = usize::MAX;
-
-struct Node<K> {
-    key: K,
-    size_mb: f64,
-    prev: usize,
-    next: usize,
-}
-
-/// Byte-budget LRU cache over file keys.
-pub struct LruCache<K> {
-    capacity_mb: f64,
-    used_mb: f64,
-    // FxHash: touched on every request of the week replay (hit path), with
-    // simulation-internal keys that need no HashDoS keying.
-    map: FxHashMap<K, usize>,
-    slab: Vec<Node<K>>,
-    free: Vec<usize>,
-    head: usize, // most recently used
-    tail: usize, // least recently used
-}
-
-impl<K: Eq + Hash + Clone> LruCache<K> {
-    /// A cache holding at most `capacity_mb` megabytes.
-    pub fn new(capacity_mb: f64) -> Self {
-        assert!(capacity_mb > 0.0, "capacity must be positive");
-        LruCache {
-            capacity_mb,
-            used_mb: 0.0,
-            map: FxHashMap::default(),
-            slab: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
-        }
-    }
-
-    /// Bytes currently stored (MB).
-    pub fn used_mb(&self) -> f64 {
-        self.used_mb
-    }
-
-    /// Capacity (MB).
-    pub fn capacity_mb(&self) -> f64 {
-        self.capacity_mb
-    }
-
-    /// Number of cached files.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Whether `key` is cached, *without* touching recency.
-    pub fn contains(&self, key: &K) -> bool {
-        self.map.contains_key(key)
-    }
-
-    /// Look up `key`, marking it most-recently-used. Returns its size.
-    pub fn touch(&mut self, key: &K) -> Option<f64> {
-        let &idx = self.map.get(key)?;
-        self.unlink(idx);
-        self.push_front(idx);
-        Some(self.slab[idx].size_mb)
-    }
-
-    /// Insert a file (deduplicating on key: re-inserting refreshes recency
-    /// and updates the size). Files larger than the whole cache are refused.
-    /// Returns the keys evicted to make room.
-    pub fn insert(&mut self, key: K, size_mb: f64) -> Vec<K> {
-        assert!(size_mb >= 0.0 && size_mb.is_finite(), "bad size");
-        if size_mb > self.capacity_mb {
-            return Vec::new();
-        }
-        if let Some(&idx) = self.map.get(&key) {
-            self.used_mb += size_mb - self.slab[idx].size_mb;
-            self.slab[idx].size_mb = size_mb;
-            self.unlink(idx);
-            self.push_front(idx);
-        } else {
-            let idx = self.alloc(key.clone(), size_mb);
-            self.map.insert(key, idx);
-            self.push_front(idx);
-            self.used_mb += size_mb;
-        }
-        let mut evicted = Vec::new();
-        while self.used_mb > self.capacity_mb {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL, "over budget implies non-empty");
-            // Never evict the entry we just inserted.
-            if lru == self.head {
-                break;
-            }
-            evicted.push(self.remove_index(lru));
-        }
-        evicted
-    }
-
-    /// Remove `key` outright. Returns its size if it was present.
-    pub fn remove(&mut self, key: &K) -> Option<f64> {
-        let idx = *self.map.get(key)?;
-        let size = self.slab[idx].size_mb;
-        self.remove_index(idx);
-        Some(size)
-    }
-
-    /// Keys from most- to least-recently-used (diagnostics and tests).
-    pub fn keys_mru(&self) -> Vec<K> {
-        let mut out = Vec::with_capacity(self.map.len());
-        let mut cur = self.head;
-        while cur != NIL {
-            out.push(self.slab[cur].key.clone());
-            cur = self.slab[cur].next;
-        }
-        out
-    }
-
-    fn alloc(&mut self, key: K, size_mb: f64) -> usize {
-        let node = Node { key, size_mb, prev: NIL, next: NIL };
-        if let Some(idx) = self.free.pop() {
-            self.slab[idx] = node;
-            idx
-        } else {
-            self.slab.push(node);
-            self.slab.len() - 1
-        }
-    }
-
-    fn remove_index(&mut self, idx: usize) -> K {
-        self.unlink(idx);
-        let key = self.slab[idx].key.clone();
-        self.used_mb -= self.slab[idx].size_mb;
-        self.map.remove(&key);
-        self.free.push(idx);
-        key
-    }
-
-    fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
-        if prev != NIL {
-            self.slab[prev].next = next;
-        } else if self.head == idx {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slab[next].prev = prev;
-        } else if self.tail == idx {
-            self.tail = prev;
-        }
-        self.slab[idx].prev = NIL;
-        self.slab[idx].next = NIL;
-    }
-
-    fn push_front(&mut self, idx: usize) {
-        self.slab[idx].prev = NIL;
-        self.slab[idx].next = self.head;
-        if self.head != NIL {
-            self.slab[self.head].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
-        }
-    }
-}
+/// Byte-budget LRU cache over file keys (moved to [`odx_cache::LruCache`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "the LRU pool moved to the odx-cache crate; use odx_cache::LruCache"
+)]
+pub type LruCache<K> = odx_cache::LruCache<K>;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    // Within the defining crate the deprecated alias is warning-free; this
+    // pins the re-export's API surface so external callers keep compiling.
+    use super::LruCache;
 
     #[test]
-    fn insert_and_contains() {
-        let mut c = LruCache::new(100.0);
-        assert!(c.insert("a", 40.0).is_empty());
-        assert!(c.contains(&"a"));
-        assert!(!c.contains(&"b"));
-        assert_eq!(c.used_mb(), 40.0);
-        assert_eq!(c.len(), 1);
-    }
-
-    #[test]
-    fn evicts_least_recently_used() {
+    fn alias_still_behaves_like_the_pool_lru() {
         let mut c = LruCache::new(100.0);
         c.insert("a", 40.0);
         c.insert("b", 40.0);
-        c.touch(&"a"); // b is now LRU
+        c.touch(&"a");
         let evicted = c.insert("c", 40.0);
         assert_eq!(evicted, vec!["b"]);
-        assert!(c.contains(&"a") && c.contains(&"c"));
+        assert_eq!(c.keys_mru(), vec!["c", "a"]);
         assert!((c.used_mb() - 80.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn eviction_can_cascade() {
-        let mut c = LruCache::new(100.0);
-        c.insert("a", 30.0);
-        c.insert("b", 30.0);
-        c.insert("c", 30.0);
-        let evicted = c.insert("big", 90.0);
-        assert_eq!(evicted.len(), 3);
-        assert_eq!(c.len(), 1);
-    }
-
-    #[test]
-    fn dedup_refreshes_instead_of_duplicating() {
-        let mut c = LruCache::new(100.0);
-        c.insert("a", 40.0);
-        c.insert("b", 40.0);
-        c.insert("a", 40.0); // refresh: b becomes LRU
+        assert_eq!(c.capacity_mb(), 100.0);
+        assert!(!c.is_empty());
         assert_eq!(c.len(), 2);
-        assert_eq!(c.used_mb(), 80.0);
-        assert_eq!(c.keys_mru(), vec!["a", "b"]);
-    }
-
-    #[test]
-    fn resize_on_reinsert() {
-        let mut c = LruCache::new(100.0);
-        c.insert("a", 40.0);
-        c.insert("a", 70.0);
-        assert_eq!(c.used_mb(), 70.0);
-    }
-
-    #[test]
-    fn oversized_file_is_refused() {
-        let mut c = LruCache::new(50.0);
-        c.insert("a", 10.0);
-        let evicted = c.insert("huge", 60.0);
-        assert!(evicted.is_empty());
-        assert!(!c.contains(&"huge"));
         assert!(c.contains(&"a"));
-    }
-
-    #[test]
-    fn remove_frees_space() {
-        let mut c = LruCache::new(100.0);
-        c.insert("a", 40.0);
-        assert_eq!(c.remove(&"a"), Some(40.0));
-        assert_eq!(c.remove(&"a"), None);
-        assert_eq!(c.used_mb(), 0.0);
-        assert!(c.is_empty());
-    }
-
-    #[test]
-    fn slab_reuse_after_removals() {
-        let mut c = LruCache::new(10.0);
-        for round in 0..5 {
-            for i in 0..10 {
-                c.insert(round * 10 + i, 1.0);
-            }
-        }
-        assert_eq!(c.len(), 10);
-        assert!(c.slab.len() <= 20, "slab should be reused, len {}", c.slab.len());
-    }
-
-    #[test]
-    fn mru_order_is_maintained() {
-        let mut c = LruCache::new(100.0);
-        for k in ["a", "b", "c"] {
-            c.insert(k, 10.0);
-        }
-        c.touch(&"b");
-        assert_eq!(c.keys_mru(), vec!["b", "c", "a"]);
+        assert_eq!(c.remove(&"c"), Some(40.0));
     }
 }

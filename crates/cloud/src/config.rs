@@ -1,5 +1,6 @@
 //! Cloud system constants (§2.1) and replay calibration.
 
+use odx_cache::CacheConfig;
 use odx_sim::SimDuration;
 
 /// Configuration of the Xuanfeng-like cloud.
@@ -22,6 +23,9 @@ pub struct CloudConfig {
     pub stagnation_timeout: SimDuration,
     /// Cloud storage pool capacity at scale 1.0: 2 PB = 2e9 MB.
     pub cache_capacity_mb: f64,
+    /// Which replacement policy runs the storage pool, and across how many
+    /// shards. Defaults to single-shard LRU — the paper's pool model.
+    pub cache: CacheConfig,
     /// Popularity pivot of warm-cache coverage: a file with `w` weekly
     /// requests starts the week cached with probability `w / (w + pivot)`
     /// (popular content accumulated in the pool during previous weeks).
@@ -56,6 +60,7 @@ impl Default for CloudConfig {
             fetch_cap_kbps: 6250.0,
             stagnation_timeout: SimDuration::from_hours(1),
             cache_capacity_mb: 2.0e9,
+            cache: CacheConfig::default(),
             warm_cache_pivot: 5.5,
             admission_floor_kbps: 25.0,
             dynamics_probability: 0.14,

@@ -6,8 +6,10 @@
 //!
 //! * [`ContentDb`] — metadata for every known file (MD5-keyed), including
 //!   popularity statistics (what ODR queries) and cached status.
-//! * [`LruCache`] — the 2 PB collaborative storage pool with file-level
-//!   deduplication and LRU replacement.
+//! * the 2 PB collaborative storage pool, now a pluggable
+//!   [`odx_cache::CachePolicy`] selected by [`CloudConfig`]'s `cache` field
+//!   (single-shard [`odx_cache::LruCache`] by default — the paper's model);
+//!   the old `odx_cloud::LruCache` name remains as a deprecated alias.
 //! * [`PredownloadModel`] — virtual-machine pre-downloaders on 20 Mbps links
 //!   with the production 1-hour stagnation timeout.
 //! * [`dedup`] — the chunk-level-dedup estimator behind §2.1's design
@@ -37,10 +39,12 @@ mod system;
 mod upload;
 
 pub use backend::CloudWeekBackend;
+#[allow(deprecated)]
 pub use cache::LruCache;
 pub use config::CloudConfig;
 pub use content_db::{ContentDb, FileState};
 pub use fetch::{FetchModel, FetchPlan};
+pub use odx_cache::{CacheConfig, PolicyKind};
 pub use predownload::{PredownloadModel, PredownloadOutcome};
 pub use system::{Counters, WeekReport, XuanfengCloud};
 pub use upload::{Admission, UploadPool};

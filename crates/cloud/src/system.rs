@@ -16,7 +16,9 @@ use odx_telemetry::{
 use odx_trace::records::{FetchRecord, PredownloadRecord};
 use odx_trace::{Catalog, PopularityClass, Population, Workload};
 
-use crate::{CloudConfig, CloudWeekBackend, ContentDb, LruCache, PredownloadOutcome};
+use odx_cache::InstrumentedCache;
+
+use crate::{CloudConfig, CloudWeekBackend, ContentDb, PredownloadOutcome};
 
 /// End-to-end view of one completed offline-downloading task (§4.3): total
 /// delay is pre-downloading delay plus fetching delay.
@@ -263,7 +265,7 @@ pub struct XuanfengCloud<'a> {
     population: &'a Population,
     workload: &'a Workload,
     db: ContentDb,
-    pool_cache: LruCache<u32>,
+    pool: InstrumentedCache,
     backend: CloudWeekBackend,
     rng_think: SimRng,
     // Keyed by catalog index; FxHash keeps the per-event lookup a few ALU
@@ -318,11 +320,20 @@ impl<'a> XuanfengCloud<'a> {
         rngs: &RngFactory,
     ) -> Self {
         let mut db = ContentDb::new(catalog);
-        let mut pool_cache = LruCache::new(cfg.scaled_cache_mb());
+        // The scenario picks the replacement policy; single-shard LRU is the
+        // paper's pool. Preallocate for the catalog so warming never regrows.
+        let mut pool = InstrumentedCache::new(
+            cfg.cache.build(cfg.scaled_cache_mb(), catalog.len()),
+            odx_telemetry::global(),
+        );
         if cfg.cache_enabled {
             let mut warm_rng = rngs.stream("cloud-warm");
             for idx in db.warm(catalog, cfg.warm_cache_pivot, &mut warm_rng) {
-                pool_cache.insert(idx, catalog.file(idx).size_mb);
+                // Warm evictions only happen under pressure-scaled budgets,
+                // but whenever they do the DB flag must follow the pool.
+                for evicted in pool.insert(u64::from(idx), catalog.file(idx).size_mb, 0) {
+                    db.state_mut(evicted as u32).cached = false;
+                }
             }
         }
         let backend = CloudWeekBackend::new(&cfg, rngs);
@@ -333,7 +344,7 @@ impl<'a> XuanfengCloud<'a> {
             population,
             workload,
             db,
-            pool_cache,
+            pool,
             backend,
             rng_think: rngs.stream("cloud-think"),
             pending: FxHashMap::default(),
@@ -453,6 +464,7 @@ impl<'a> XuanfengCloud<'a> {
         let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
         world.metrics = CloudMetrics::new(registry);
         world.backend.rebind_metrics(registry);
+        world.pool.rebind(registry);
         world.lifecycle = trace.map(Lifecycle::new);
         let flight = world.lifecycle.as_ref().map(|lifecycle| lifecycle.flight.clone());
         // Every request is scheduled up front and spawns at most a couple of
@@ -469,6 +481,7 @@ impl<'a> XuanfengCloud<'a> {
         sim.run_to_completion();
         let mut world = sim.into_world();
         let lifecycle = world.lifecycle.take().map(|lifecycle| lifecycle.report());
+        world.pool.finish(registry);
         let report = world.into_report();
         registry.gauge("cloud.hit_ratio").set(report.hit_ratio());
         registry.gauge("cloud.failure_ratio").set(report.failure_ratio());
@@ -640,8 +653,8 @@ impl World for XuanfengCloud<'_> {
                 let now = ctx.now();
                 self.trace_instant(req, Stage::Arrival, now, None);
 
-                if self.db.state(file_idx).cached {
-                    self.pool_cache.touch(&file_idx);
+                if self.pool.lookup(u64::from(file_idx), now.as_millis()).is_some() {
+                    debug_assert!(self.db.state(file_idx).cached, "pool/DB flag drift");
                     self.counters.cache_hits += 1;
                     self.metrics.cache_hit.inc();
                     self.predownloads.push(self.hit_record(now));
@@ -681,8 +694,13 @@ impl World for XuanfengCloud<'_> {
                         self.metrics.predownload_success.inc();
                         if self.cfg.cache_enabled {
                             self.db.state_mut(file).cached = true;
-                            for evicted in self.pool_cache.insert(file, meta.size_mb) {
-                                self.db.state_mut(evicted).cached = false;
+                            // The eviction list may include `file` itself if
+                            // the policy refused admission; the flag loop
+                            // handles both cases uniformly.
+                            for evicted in
+                                self.pool.insert(u64::from(file), meta.size_mb, now.as_millis())
+                            {
+                                self.db.state_mut(evicted as u32).cached = false;
                             }
                         }
                         self.counters.predownload_traffic_mb += traffic_mb;

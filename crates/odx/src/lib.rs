@@ -26,6 +26,7 @@
 pub mod sweep;
 
 pub use odx_backend as backend;
+pub use odx_cache as cache;
 pub use odx_cloud as cloud;
 pub use odx_net as net;
 pub use odx_odr as odr;
@@ -99,6 +100,8 @@ impl Study {
     pub fn scenario_cloud_config(&self, scenario: &Scenario) -> CloudConfig {
         let mut cfg = CloudConfig::at_scale(self.scale);
         cfg.cache_enabled = scenario.cache_enabled;
+        cfg.cache = scenario.cache;
+        cfg.cache_capacity_mb *= scenario.cache_capacity_factor;
         cfg.privileged_paths_enabled = scenario.privileged_paths;
         cfg.retry_decay = scenario.backend.retry_decay;
         cfg.upload_total_kbps /= scenario.demand_factor;

@@ -25,6 +25,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use odx_backend::Scenario;
+use odx_cache::PolicyKind;
 use odx_cloud::XuanfengCloud;
 use odx_telemetry::{Attribution, Registry, TraceConfig};
 
@@ -315,6 +316,27 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
     }
 }
 
+/// Expand scenarios × cache policies into named sweep variants: each
+/// variant is the scenario with `cache.policy` swapped and the name
+/// `"<scenario>/<policy>"`, so the `(scenario, seed)` merge key — and
+/// therefore the deterministic exports — distinguish policies without any
+/// format change. Variant names are leaked (`&'static str` is what
+/// [`Scenario`] carries); `repro cache-compare` builds one small grid per
+/// process, so the leak is a few bytes per run.
+pub fn policy_variants(scenarios: &[Scenario], policies: &[PolicyKind]) -> Vec<Scenario> {
+    let mut variants = Vec::with_capacity(scenarios.len() * policies.len());
+    for scenario in scenarios {
+        for &policy in policies {
+            let mut variant = *scenario;
+            variant.cache.policy = policy;
+            variant.name =
+                Box::leak(format!("{}/{}", scenario.name, policy.name()).into_boxed_str());
+            variants.push(variant);
+        }
+    }
+    variants
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +439,35 @@ mod tests {
             baseline.failure_ratio
         );
         assert!(report.total_events() > baseline.requests);
+    }
+}
+
+#[cfg(test)]
+mod policy_variant_tests {
+    use super::*;
+    use odx_backend::ScenarioRegistry;
+
+    #[test]
+    fn variants_cross_scenarios_with_policies() {
+        let registry = ScenarioRegistry::builtin();
+        let base = registry.resolve("paper-default").unwrap();
+        let variants = policy_variants(&base, &PolicyKind::ALL);
+        assert_eq!(variants.len(), PolicyKind::ALL.len());
+        let names: Vec<_> = variants.iter().map(|v| v.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "paper-default/lru",
+                "paper-default/lfu",
+                "paper-default/gdsf",
+                "paper-default/s3fifo"
+            ]
+        );
+        for (variant, policy) in variants.iter().zip(PolicyKind::ALL) {
+            assert_eq!(variant.cache.policy, policy);
+            // Everything except the policy and name is the base scenario.
+            assert_eq!(variant.cache_capacity_factor, base[0].cache_capacity_factor);
+            assert_eq!(variant.demand_factor, base[0].demand_factor);
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Golden pins for the cache subsystem refactor.
+//!
+//! The files under `tests/golden/` were exported by the pre-refactor tree
+//! (the hardwired cloud LRU), so these tests prove the `odx-cache`
+//! migration is *behaviour-preserving*: the LRU policy routed through the
+//! `CachePolicy` trait reproduces the old cloud-week numbers byte for
+//! byte, on every original scenario, and the policy-comparison grid is
+//! byte-identical across `--jobs` settings.
+
+use odx::backend::ScenarioRegistry;
+use odx::cache::PolicyKind;
+use odx::sweep::{policy_variants, run_sweep, SweepSpec};
+
+/// The six presets that existed when the goldens were captured. The
+/// registry has since grown (`cache-pressure`), so golden specs name them
+/// explicitly instead of resolving `all`.
+const BASELINE_SCENARIOS: [&str; 6] = [
+    "paper-default",
+    "ablate-cache",
+    "ablate-privileged",
+    "sweep-userbase",
+    "cernet-heavy",
+    "usb3-aps",
+];
+
+fn spec_for(names: &[&str], seeds: Vec<u64>, jobs: usize) -> SweepSpec {
+    let registry = ScenarioRegistry::builtin();
+    SweepSpec {
+        scenarios: names.iter().map(|n| *registry.get(n).expect("known preset")).collect(),
+        seeds,
+        scale: 0.002,
+        jobs,
+        trace: None,
+    }
+}
+
+#[test]
+fn lru_policy_reproduces_the_paper_default_baseline_byte_for_byte() {
+    let report = run_sweep(&spec_for(&["paper-default"], vec![2015, 2016], 1));
+    assert_eq!(
+        report.to_json(),
+        include_str!("golden/sweep_lru_paper_default_s2015x2_scale0002.json"),
+        "cloud-week JSON drifted from the pre-refactor baseline"
+    );
+    assert_eq!(
+        report.to_csv(),
+        include_str!("golden/sweep_lru_paper_default_s2015x2_scale0002.csv"),
+        "cloud-week CSV drifted from the pre-refactor baseline"
+    );
+}
+
+#[test]
+fn lru_policy_reproduces_every_original_scenario_byte_for_byte() {
+    let report = run_sweep(&spec_for(&BASELINE_SCENARIOS, vec![2015], 2));
+    assert_eq!(
+        report.to_json(),
+        include_str!("golden/sweep_lru_all_s2015_scale0002.json"),
+        "a scenario drifted from the pre-refactor baseline"
+    );
+}
+
+#[test]
+fn explicit_lru_variant_matches_the_implicit_default() {
+    let registry = ScenarioRegistry::builtin();
+    let base = vec![*registry.get("paper-default").unwrap()];
+    let implicit = run_sweep(&SweepSpec {
+        scenarios: base.clone(),
+        seeds: vec![2015],
+        scale: 0.001,
+        jobs: 1,
+        trace: None,
+    });
+    let explicit = run_sweep(&SweepSpec {
+        scenarios: policy_variants(&base, &[PolicyKind::Lru]),
+        seeds: vec![2015],
+        scale: 0.001,
+        jobs: 1,
+        trace: None,
+    });
+    let (a, b) = (&implicit.cells[0], &explicit.cells[0]);
+    assert_eq!(a.scenario, "paper-default");
+    assert_eq!(b.scenario, "paper-default/lru");
+    assert_eq!(a.cache_hits, b.cache_hits);
+    assert_eq!(a.predownload_failures, b.predownload_failures);
+    assert_eq!(a.completed_fetches, b.completed_fetches);
+    assert_eq!(a.sim_events, b.sim_events);
+    assert_eq!(a.hit_ratio, b.hit_ratio);
+}
+
+#[test]
+fn cache_compare_grid_is_jobs_invariant() {
+    let registry = ScenarioRegistry::builtin();
+    let base: Vec<_> =
+        ["paper-default", "cache-pressure"].map(|n| *registry.get(n).unwrap()).into();
+    let spec = |jobs| SweepSpec {
+        scenarios: policy_variants(&base, &PolicyKind::ALL),
+        seeds: vec![2015, 2016],
+        scale: 0.0005,
+        jobs,
+        trace: None,
+    };
+    let serial = run_sweep(&spec(1));
+    let parallel = run_sweep(&spec(4));
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.cells.len(), 2 * PolicyKind::ALL.len() * 2);
+}
+
+#[test]
+fn policies_actually_diverge_under_cache_pressure() {
+    let registry = ScenarioRegistry::builtin();
+    let base = vec![*registry.get("cache-pressure").unwrap()];
+    let report = run_sweep(&SweepSpec {
+        scenarios: policy_variants(&base, &PolicyKind::ALL),
+        seeds: vec![2015],
+        scale: 0.002,
+        jobs: 2,
+        trace: None,
+    });
+    let ratios: Vec<f64> = report.cells.iter().map(|c| c.hit_ratio).collect();
+    assert_eq!(ratios.len(), PolicyKind::ALL.len());
+    for (cell, ratio) in report.cells.iter().zip(&ratios) {
+        assert!(
+            (0.05..0.999).contains(ratio),
+            "{} hit ratio {} out of plausible range",
+            cell.scenario,
+            ratio
+        );
+    }
+    let distinct = {
+        let mut sorted = ratios.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        sorted.len()
+    };
+    assert!(distinct >= 2, "cache-pressure must separate at least two policies, got {ratios:?}");
+}
