@@ -26,6 +26,29 @@ echo "== repro smoke: headline --scenario paper-default =="
 cargo run --release -p odx-bench --bin repro -- headline \
   --scenario paper-default --scale 0.01 --sample 200
 
+echo "== config smoke: canonical dumps, scenario files, axis sweeps =="
+CONFIG_TMP="$(mktemp -d)"
+# Every built-in preset's canonical dump must validate when fed back in.
+cargo run --release -p odx-bench --bin repro -- scenario dump --all \
+  | cargo run --release -p odx-bench --bin repro -- scenario check
+# The checked-in example file: validate, then run the headline under it.
+cargo run --release -p odx-bench --bin repro -- scenario check \
+  --json examples/campus-pressure.json
+cargo run --release -p odx-bench --bin repro -- \
+  --scenario-file examples/campus-pressure.json headline \
+  --scenario campus-pressure --scale 0.01 --sample 200
+# Its 2×2 axis grid must sweep --jobs-independently.
+cargo run --release -p odx-bench --bin repro -- \
+  --scenario-file examples/campus-pressure.json sweep \
+  --scenario campus-pressure --seeds 1 --jobs 1 --scale 0.002 --out "$CONFIG_TMP/j1"
+cargo run --release -p odx-bench --bin repro -- \
+  --scenario-file examples/campus-pressure.json sweep \
+  --scenario campus-pressure --seeds 1 --jobs 4 --scale 0.002 --out "$CONFIG_TMP/j4"
+diff "$CONFIG_TMP/j1/sweep.json" "$CONFIG_TMP/j4/sweep.json"
+diff "$CONFIG_TMP/j1/sweep.csv" "$CONFIG_TMP/j4/sweep.csv"
+rm -rf "$CONFIG_TMP"
+echo "config smoke OK"
+
 echo "== sweep determinism: --jobs 1 vs --jobs 4 must be byte-identical =="
 SWEEP_TMP="$(mktemp -d)"
 trap 'rm -rf "$SWEEP_TMP"' EXIT

@@ -58,7 +58,7 @@ fn bench_policy_churn(c: &mut Criterion) {
 fn bench_cache_pressure_week(c: &mut Criterion) {
     let scale = if quick() { 0.001 } else { 0.005 };
     let registry = Study::scenarios();
-    let base = vec![*registry.get("cache-pressure").expect("builtin preset")];
+    let base = vec![registry.get("cache-pressure").expect("builtin preset").clone()];
     let mut group = c.benchmark_group("cache");
     group.sample_size(2);
     for policy in PolicyKind::ALL {

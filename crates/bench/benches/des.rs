@@ -71,11 +71,11 @@ fn bench_cloud_week_shard(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let report = run_sweep(&SweepSpec {
-                    scenarios: vec![*Study::scenarios().get("paper-default").unwrap()],
+                    scenarios: vec![Study::scenarios().get("paper-default").unwrap().clone()],
                     seeds: vec![2015],
                     scale,
                     jobs: 1,
-                    trace: trace.clone(),
+                    trace: *trace,
                 });
                 black_box(report.total_events())
             })

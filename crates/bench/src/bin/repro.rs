@@ -10,6 +10,10 @@
 //! cargo run --release -p odx-bench --bin repro -- attribute --scenario paper-default
 //! cargo run --release -p odx-bench --bin repro -- trace --out trace.json
 //! cargo run --release -p odx-bench --bin repro -- bench --json BENCH_pr3.json
+//! cargo run --release -p odx-bench --bin repro -- scenario show cache-pressure
+//! cargo run --release -p odx-bench --bin repro -- scenario dump --all
+//! cargo run --release -p odx-bench --bin repro -- --scenario-file examples/campus-pressure.json sweep --scenario campus-pressure
+//! cargo run --release -p odx-bench --bin repro -- headline --set cernet_share=0.3
 //! cargo run --release -p odx-bench --bin repro -- list
 //! ```
 //!
@@ -29,10 +33,30 @@
 //! policy in the active scenario (the default everywhere is `lru`, the
 //! paper's pool).
 //!
-//! `--scenario NAME` (default `paper-default`) resolves a preset from the
-//! scenario registry and applies it to workload generation and every
-//! replay; `sweep` additionally accepts the selector `all`, expanding to
-//! every preset. `--scale` (default 0.1) sets the workload scale (1.0 =
+//! Scenarios are data (`DESIGN.md` §scenarios-as-data): the active
+//! configuration is built in layers — the paper baseline, a preset or
+//! user-file delta, then CLI overrides. `--scenario NAME` (default
+//! `paper-default`) resolves a scenario from the registry and applies it
+//! to workload generation and every replay; `sweep` and `cache-compare`
+//! additionally accept the selector `all`, expanding to every registered
+//! scenario (and, per scenario, its declared sweep `axes` grid).
+//! `--scenario-file FILE` (repeatable) loads scenario JSON — one object or
+//! an array, each a delta over the baseline or over `"base": NAME` — into
+//! the registry for every subcommand; later definitions replace same-name
+//! earlier ones. `--set dotted.path=value` (repeatable) overrides one
+//! field of the active scenario(s), e.g. `--set cache.policy=gdsf --set
+//! demand_factor=2`. Any unknown name, unreadable file, or out-of-bounds
+//! value exits 2 naming the offending field and the nearest valid
+//! alternative.
+//!
+//! The `scenario` subcommand inspects the registry without running
+//! anything: `scenario show NAME` and `scenario dump --all` print
+//! byte-stable canonical JSON (stdout carries nothing else), and
+//! `scenario check [--json FILE]` validates a scenario document from a
+//! file or stdin — so `repro scenario dump --all | repro scenario check`
+//! round-trips.
+//!
+//! `--scale` (default 0.1) sets the workload scale (1.0 =
 //! the paper's full 4.08 M-task week); `--seed` the master seed; `--seeds N`
 //! the sweep's seed-axis length (seeds `seed..seed+N`); `--jobs N` the
 //! sweep worker-thread count (the merged output is byte-identical for any
@@ -60,9 +84,10 @@ use std::collections::BTreeSet;
 use std::io::Write;
 use std::path::PathBuf;
 
-use odx::backend::Scenario;
+use odx::backend::{Scenario, ScenarioRegistry};
 use odx::cache::PolicyKind;
 use odx::cloud::{CloudConfig, WeekReport};
+use odx::config::{Json, ScenarioSpec};
 use odx::net::kbps_to_gbps;
 use odx::odr::replay::OdrEvalReport;
 use odx::smartap::{table2, ApModel};
@@ -110,10 +135,24 @@ const COMMANDS: &[&str] = &[
 
 struct Options {
     commands: BTreeSet<String>,
+    /// The `scenario` subcommand's arguments (`show NAME`, `dump`,
+    /// `check`) when that mode was invoked; it runs before the banner so
+    /// stdout carries nothing but canonical JSON.
+    scenario_cmd: Option<Vec<String>>,
+    /// The scenario registry the run resolves against: the built-in
+    /// presets plus every `--scenario-file` definition.
+    registry: ScenarioRegistry,
+    /// The active scenario after layering: baseline → preset/file delta →
+    /// `--set` overrides (axes stripped; sweeps expand them per cell).
     scenario: Scenario,
     /// The raw `--scenario` selector; unlike `scenario` it may be `all`,
-    /// which only `sweep` knows how to expand.
+    /// which only `sweep`/`cache-compare` know how to expand.
     scenario_selector: String,
+    /// `--set dotted.path=value` overrides, in flag order. Applied to the
+    /// active scenario and to every spec a sweep selector resolves to.
+    sets: Vec<(String, Json)>,
+    /// `--all` (only `scenario dump` reads it).
+    dump_all: bool,
     scale: f64,
     seed: u64,
     /// Sweep seed-axis length: seeds `seed..seed+seeds`.
@@ -149,9 +188,12 @@ impl Options {
 fn print_usage(out: &mut dyn Write) {
     let _ = writeln!(out, "subcommands:");
     let _ = writeln!(out, "  {}", COMMANDS.join(" "));
+    let _ =
+        writeln!(out, "  scenario show NAME | scenario dump --all | scenario check [--json FILE]");
     let _ = writeln!(
         out,
-        "flags: --scenario NAME --policy NAME --scale F --seed N --seeds N --jobs N --sample N \
+        "flags: --scenario NAME --scenario-file FILE --set dotted.path=value --policy NAME \
+         --scale F --seed N --seeds N --jobs N --sample N \
          --trace-sample N --out DIR --metrics FILE --json FILE"
     );
     let _ = writeln!(out, "scenarios (--scenario):");
@@ -167,17 +209,36 @@ fn print_usage(out: &mut dyn Write) {
 
 /// Reject `what` with the usage listing on stderr and a non-zero exit.
 fn usage_error(what: &str) -> ! {
+    fail_usage(&format!("unknown {what}"));
+}
+
+/// Reject the invocation: `message` plus the usage listing on stderr,
+/// exit 2 (the CLI-usage exit code — runtime failures exit 1).
+fn fail_usage(message: &str) -> ! {
     let mut err = std::io::stderr();
-    let _ = writeln!(err, "repro: unknown {what}");
+    let _ = writeln!(err, "repro: {message}");
     print_usage(&mut err);
     std::process::exit(2);
 }
 
+/// Parse a `--set dotted.path=value` operand. The value is JSON when it
+/// parses as JSON (`2`, `true`, `["a","b"]`) and a bare string otherwise
+/// (`gdsf` needs no quoting).
+fn parse_set(operand: &str) -> (String, Json) {
+    let Some((path, raw)) = operand.split_once('=') else {
+        fail_usage(&format!("--set needs dotted.path=value (got `{operand}`)"));
+    };
+    let value = Json::parse(raw).unwrap_or_else(|_| Json::Str(raw.to_owned()));
+    (path.to_owned(), value)
+}
+
 fn parse_args() -> Options {
-    let registry = Study::scenarios();
     let mut commands = BTreeSet::new();
-    let mut scenario = *registry.get("paper-default").expect("builtin baseline");
+    let mut positionals: Vec<String> = Vec::new();
     let mut scenario_selector = "paper-default".to_owned();
+    let mut scenario_files: Vec<PathBuf> = Vec::new();
+    let mut sets: Vec<(String, Json)> = Vec::new();
+    let mut dump_all = false;
     let mut scale = 0.1;
     let mut seed = 2015;
     let mut seeds = 1;
@@ -191,18 +252,12 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scenario" => {
-                let name = args.next().expect("--scenario value");
-                // `all` is a sweep-only selector: the grid expands it, while
-                // the single-scenario commands keep the baseline.
-                if name != "all" {
-                    scenario = match registry.get(&name) {
-                        Some(s) => *s,
-                        None => usage_error(&format!("scenario `{name}`")),
-                    };
-                }
-                scenario_selector = name;
+            "--scenario" => scenario_selector = args.next().expect("--scenario value"),
+            "--scenario-file" => {
+                scenario_files.push(PathBuf::from(args.next().expect("--scenario-file value")))
             }
+            "--set" => sets.push(parse_set(&args.next().expect("--set value"))),
+            "--all" => dump_all = true,
             "--policy" => {
                 let name = args.next().expect("--policy value");
                 policy = match PolicyKind::parse(&name) {
@@ -223,15 +278,61 @@ fn parse_args() -> Options {
             "--metrics" => metrics = Some(PathBuf::from(args.next().expect("--metrics file"))),
             "--json" => json = Some(PathBuf::from(args.next().expect("--json file"))),
             flag if flag.starts_with('-') => usage_error(&format!("flag `{flag}`")),
-            cmd if COMMANDS.contains(&cmd) => {
-                commands.insert(cmd.to_owned());
-            }
-            cmd => usage_error(&format!("subcommand `{cmd}`")),
+            word => positionals.push(word.to_owned()),
         }
     }
-    if commands.is_empty() {
-        commands.insert("all".to_owned());
+
+    // Layer 1+2: built-in presets, then user scenario files (for *every*
+    // subcommand — sweeps, cache-compare, and the scenario inspector all
+    // resolve against the same registry).
+    let mut registry = Study::scenarios();
+    for file in &scenario_files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            fail_usage(&format!("cannot read scenario file `{}`: {e}", file.display()))
+        });
+        registry
+            .load_json(&text)
+            .unwrap_or_else(|e| fail_usage(&format!("in `{}`: {e}", file.display())));
     }
+
+    // `scenario show/dump/check` is an inspector mode, not a figure
+    // command: record it and let `main` run it before the banner.
+    let scenario_cmd = if positionals.first().map(String::as_str) == Some("scenario") {
+        Some(positionals.split_off(1))
+    } else {
+        for cmd in &positionals {
+            if !COMMANDS.contains(&cmd.as_str()) {
+                usage_error(&format!("subcommand `{cmd}`"));
+            }
+            commands.insert(cmd.clone());
+        }
+        if commands.is_empty() {
+            commands.insert("all".to_owned());
+        }
+        None
+    };
+
+    // Layer 3+4: resolve the `--scenario` selector against the registry
+    // (`all` is a sweep-only selector — single-scenario commands keep the
+    // baseline), then apply the `--set` overrides. Typed validation runs
+    // in `from_spec`; any violation exits 2 naming the field.
+    let mut spec = registry.spec("paper-default").cloned().expect("builtin baseline");
+    if scenario_selector != "all" {
+        spec = registry.spec(&scenario_selector).cloned().unwrap_or_else(|| {
+            let err = odx::config::ConfigError::unknown(
+                "--scenario",
+                "scenario",
+                &scenario_selector,
+                registry.names(),
+            );
+            fail_usage(&err.message)
+        });
+    }
+    for (path, value) in &sets {
+        spec.set_path(path, value).unwrap_or_else(|e| fail_usage(&e.to_string()));
+    }
+    let mut scenario =
+        Scenario::from_spec(&spec.without_axes()).unwrap_or_else(|e| fail_usage(&e.to_string()));
     // `--policy` reconfigures the active scenario's pool for the
     // single-scenario commands; `cache-compare` reads it as an axis filter.
     if let Some(policy) = policy {
@@ -239,8 +340,12 @@ fn parse_args() -> Options {
     }
     Options {
         commands,
+        scenario_cmd,
+        registry,
         scenario,
         scenario_selector,
+        sets,
+        dump_all,
         scale,
         seed,
         seeds: seeds.max(1),
@@ -256,6 +361,13 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
+    // The scenario inspector runs before the banner: its stdout is
+    // canonical JSON (or the check verdict) and nothing else, so
+    // `repro scenario dump --all | repro scenario check` round-trips.
+    if let Some(args) = &opts.scenario_cmd {
+        scenario_cmd(&opts, args);
+        return;
+    }
     if opts.commands.contains("list") {
         print_usage(&mut std::io::stdout());
         return;
@@ -770,11 +882,91 @@ fn check_trace_cmd(opts: &Options) {
     }
 }
 
+/// `scenario show NAME | dump --all | check [--json FILE]` — inspect and
+/// validate the layered registry without running any replay. `show` and
+/// `dump` print byte-stable canonical JSON; `check` validates a scenario
+/// document from a file or stdin against a fresh copy of the registry.
+fn scenario_cmd(opts: &Options, args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("show") => {
+            let Some(name) = args.get(1) else {
+                fail_usage("scenario show needs a scenario NAME");
+            };
+            let spec = opts.registry.spec(name).unwrap_or_else(|| {
+                let err = odx::config::ConfigError::unknown(
+                    "scenario show",
+                    "scenario",
+                    name,
+                    opts.registry.names(),
+                );
+                fail_usage(&err.message)
+            });
+            println!("{}", spec.to_canonical_json());
+        }
+        Some("dump") => {
+            if !opts.dump_all {
+                fail_usage("scenario dump needs --all (one scenario: `scenario show NAME`)");
+            }
+            let dumps: Vec<String> =
+                opts.registry.all_specs().iter().map(ScenarioSpec::to_canonical_json).collect();
+            println!("[{}]", dumps.join(","));
+        }
+        Some("check") => {
+            let text = match &opts.json {
+                Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    fail_usage(&format!("cannot read `{}`: {e}", path.display()))
+                }),
+                None => std::io::read_to_string(std::io::stdin())
+                    .unwrap_or_else(|e| fail_usage(&format!("cannot read stdin: {e}"))),
+            };
+            let mut probe = opts.registry.clone();
+            match probe.load_json(&text) {
+                Ok(n) => println!("ok: {n} scenario(s)"),
+                Err(e) => {
+                    eprintln!("repro: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => fail_usage("scenario needs show NAME, dump --all, or check [--json FILE]"),
+    }
+}
+
+/// Expand the `--scenario` selector into concrete sweep scenarios against
+/// the layered registry: each selected spec gets the `--set` overrides,
+/// then its `axes` grid (a single cell when it declares none). Any
+/// unknown name or invalid override exits 2 naming the field.
+fn resolve_scenarios(opts: &Options) -> Vec<Scenario> {
+    let specs: Vec<ScenarioSpec> = if opts.scenario_selector == "all" {
+        opts.registry.all_specs().to_vec()
+    } else {
+        let spec = opts.registry.spec(&opts.scenario_selector).cloned().unwrap_or_else(|| {
+            let err = odx::config::ConfigError::unknown(
+                "--scenario",
+                "scenario",
+                &opts.scenario_selector,
+                opts.registry.names(),
+            );
+            fail_usage(&err.message)
+        });
+        vec![spec]
+    };
+    let mut out = Vec::new();
+    for mut spec in specs {
+        for (path, value) in &opts.sets {
+            spec.set_path(path, value).unwrap_or_else(|e| fail_usage(&e.to_string()));
+        }
+        let cells = spec.expand_axes().unwrap_or_else(|e| fail_usage(&e.to_string()));
+        for cell in cells {
+            out.push(Scenario::from_spec(&cell).unwrap_or_else(|e| fail_usage(&e.to_string())));
+        }
+    }
+    out
+}
+
 fn sweep_grid(opts: &Options) {
     use odx::sweep::{run_sweep, SweepSpec};
-    let scenarios = Study::scenarios()
-        .resolve(&opts.scenario_selector)
-        .unwrap_or_else(|| usage_error(&format!("scenario `{}`", opts.scenario_selector)));
+    let scenarios = resolve_scenarios(opts);
     let seeds: Vec<u64> = (0..opts.seeds as u64).map(|i| opts.seed + i).collect();
     section(&format!(
         "Sweep — {} scenario(s) × {} seed(s) at scale {} on {} worker(s)",
@@ -842,9 +1034,7 @@ fn sweep_grid(opts: &Options) {
 /// for any `--jobs`.
 fn cache_compare(opts: &Options) {
     use odx::sweep::{policy_variants, run_sweep, SweepSpec};
-    let scenarios = Study::scenarios()
-        .resolve(&opts.scenario_selector)
-        .unwrap_or_else(|| usage_error(&format!("scenario `{}`", opts.scenario_selector)));
+    let scenarios = resolve_scenarios(opts);
     let policies: Vec<PolicyKind> = match opts.policy {
         Some(p) => vec![p],
         None => PolicyKind::ALL.to_vec(),
@@ -964,7 +1154,7 @@ fn bench_report(opts: &Options) {
     println!("    speedup {speedup:.2}x");
 
     let shard = run_sweep(&SweepSpec {
-        scenarios: vec![opts.scenario],
+        scenarios: vec![opts.scenario.clone()],
         seeds: vec![opts.seed],
         scale: opts.scale,
         jobs: 1,
@@ -981,7 +1171,7 @@ fn bench_report(opts: &Options) {
     // should stay cheap, and the `trace: None` path must stay essentially
     // free (the criterion bench in `benches/des.rs` holds it under 5%).
     let traced = run_sweep(&SweepSpec {
-        scenarios: vec![opts.scenario],
+        scenarios: vec![opts.scenario.clone()],
         seeds: vec![opts.seed],
         scale: opts.scale,
         jobs: 1,
@@ -1316,7 +1506,7 @@ fn fig17(eval: &OdrEvalReport, opts: &Options) {
 
 fn ablate_cache(study: &Study, baseline: &WeekReport) {
     section("Ablation — remove the cloud storage pool (§4.1 counterfactual)");
-    let scenario = *Study::scenarios().get("ablate-cache").expect("builtin preset");
+    let scenario = Study::scenarios().get("ablate-cache").expect("builtin preset").clone();
     let report = study.replay_cloud_scenario(&scenario);
     println!(
         "{}",
@@ -1334,7 +1524,7 @@ fn ablate_cache(study: &Study, baseline: &WeekReport) {
 
 fn ablate_privileged(study: &Study, baseline: &WeekReport) {
     section("Ablation — disable privileged-path construction");
-    let scenario = *Study::scenarios().get("ablate-privileged").expect("builtin preset");
+    let scenario = Study::scenarios().get("ablate-privileged").expect("builtin preset").clone();
     let report = study.replay_cloud_scenario(&scenario);
     println!(
         "{}",
@@ -1544,11 +1734,11 @@ fn ablate_ledbat(study: &Study) {
 fn sweep_userbase(study: &Study) {
     section("Extension — user-base growth vs fetch rejections (Bottleneck 2's trend)");
     println!("  demand grows while the purchased 30 Gbps (scaled) stays fixed:");
-    let preset = *Study::scenarios().get("sweep-userbase").expect("builtin preset");
+    let preset = Study::scenarios().get("sweep-userbase").expect("builtin preset").clone();
     for factor in [1.0_f64, 1.25, 1.5, 2.0] {
         // Same workload, proportionally less capacity = proportionally more
         // demand per unit capacity.
-        let mut scenario = preset;
+        let mut scenario = preset.clone();
         scenario.demand_factor = factor;
         let report = study.replay_cloud_scenario(&scenario);
         println!(

@@ -78,6 +78,21 @@ impl CloudConfig {
         CloudConfig { scale, ..CloudConfig::default() }
     }
 
+    /// Config for a replay of a scenario at the given workload scale: the
+    /// cache and privileged-path ablation flags, the cache policy and
+    /// capacity factor, the shared retry decay, and the user-base sweep
+    /// (demand growing `demand_factor`× against fixed upload capacity).
+    pub fn for_scenario(scale: f64, scenario: &odx_backend::Scenario) -> Self {
+        let mut cfg = CloudConfig::at_scale(scale);
+        cfg.cache_enabled = scenario.cache_enabled;
+        cfg.cache = scenario.cache;
+        cfg.cache_capacity_mb *= scenario.cache_capacity_factor;
+        cfg.privileged_paths_enabled = scenario.privileged_paths;
+        cfg.retry_decay = scenario.backend.retry_decay;
+        cfg.upload_total_kbps /= scenario.demand_factor;
+        cfg
+    }
+
     /// Upload capacity at this scale (KBps).
     pub fn scaled_upload_kbps(&self) -> f64 {
         self.upload_total_kbps * self.scale

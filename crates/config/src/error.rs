@@ -1,0 +1,128 @@
+//! Typed configuration errors: every failure names the dotted field path it
+//! occurred at and, for unknown names, the nearest valid alternative.
+
+use std::fmt;
+
+/// A validation or parse error in a scenario specification.
+///
+/// `path` is the dotted field path the error is anchored at (e.g.
+/// `cache.policy`, `ap_fleet.1.device`, or empty for document-level
+/// problems); `message` states the violated bound or the unknown name —
+/// with a "did you mean" suggestion where one exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field ("" for document-level errors).
+    pub path: String,
+    /// What went wrong, including the violated bound where applicable.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// An error anchored at `path`.
+    pub fn at(path: impl Into<String>, message: impl Into<String>) -> ConfigError {
+        ConfigError { path: path.into(), message: message.into() }
+    }
+
+    /// A document-level error (no single field to blame).
+    pub fn doc(message: impl Into<String>) -> ConfigError {
+        ConfigError { path: String::new(), message: message.into() }
+    }
+
+    /// An unknown-name error at `path`: names the rejected value and the
+    /// nearest valid alternative from `candidates`.
+    pub fn unknown(
+        path: impl Into<String>,
+        what: &str,
+        got: &str,
+        candidates: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> ConfigError {
+        let mut message = format!("unknown {what} `{got}`");
+        if let Some(best) = suggest(got, candidates) {
+            message.push_str(&format!(" (did you mean `{best}`?)"));
+        }
+        ConfigError { path: path.into(), message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "config error: {}", self.message)
+        } else {
+            write!(f, "config error at `{}`: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The nearest valid alternative to `got` among `candidates` by edit
+/// distance (ties broken by listing order). `None` when there are no
+/// candidates at all — a typo always has *some* nearest neighbour, and
+/// suggesting it beats silence even when the distance is large.
+pub fn suggest(got: &str, candidates: impl IntoIterator<Item = impl AsRef<str>>) -> Option<String> {
+    let mut best: Option<(usize, String)> = None;
+    for cand in candidates {
+        let cand = cand.as_ref();
+        let d = levenshtein(got, cand);
+        if best.as_ref().map(|(bd, _)| d < *bd).unwrap_or(true) {
+            best = Some((d, cand.to_owned()));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
+/// Classic two-row Levenshtein distance over chars.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_the_field_path() {
+        let e = ConfigError::at("demand_factor", "must be > 0 (got -1)");
+        assert_eq!(e.to_string(), "config error at `demand_factor`: must be > 0 (got -1)");
+        let d = ConfigError::doc("expected a JSON object");
+        assert_eq!(d.to_string(), "config error: expected a JSON object");
+    }
+
+    #[test]
+    fn suggest_picks_the_edit_distance_minimum() {
+        let names = ["paper-default", "ablate-cache", "cache-pressure"];
+        assert_eq!(suggest("ablate-cach", names).as_deref(), Some("ablate-cache"));
+        assert_eq!(suggest("cache-presure", names).as_deref(), Some("cache-pressure"));
+        assert_eq!(suggest("x", [] as [&str; 0]), None);
+    }
+
+    #[test]
+    fn unknown_errors_carry_the_suggestion() {
+        let e = ConfigError::unknown("cache.policy", "cache policy", "lrru", ["lru", "gdsf"]);
+        assert!(e.message.contains("unknown cache policy `lrru`"));
+        assert!(e.message.contains("did you mean `lru`?"), "{}", e.message);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+}

@@ -86,6 +86,21 @@ impl Default for IspMix {
 }
 
 impl IspMix {
+    /// The default mix with CERNET pinned to `cernet` and every other ISP
+    /// rescaled proportionally, so the shares still sum to 1. `cernet` must
+    /// lie in `[0, 1)` — `odx-config` validates this before any scenario
+    /// reaches here.
+    pub fn with_cernet_share(cernet: f64) -> IspMix {
+        let mut mix = IspMix::default();
+        let old_cernet: f64 =
+            mix.shares.iter().filter(|(isp, _)| *isp == Isp::Cernet).map(|(_, s)| s).sum();
+        let rescale = (1.0 - cernet) / (1.0 - old_cernet);
+        for (isp, share) in &mut mix.shares {
+            *share = if *isp == Isp::Cernet { cernet } else { *share * rescale };
+        }
+        mix
+    }
+
     /// Sample a user's ISP.
     pub fn sample(&self, rng: &mut dyn Rng) -> Isp {
         let mut u = u01(rng);

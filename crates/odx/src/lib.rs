@@ -28,6 +28,7 @@ pub mod sweep;
 pub use odx_backend as backend;
 pub use odx_cache as cache;
 pub use odx_cloud as cloud;
+pub use odx_config as config;
 pub use odx_net as net;
 pub use odx_odr as odr;
 pub use odx_p2p as p2p;
@@ -93,19 +94,10 @@ impl Study {
         ScenarioRegistry::builtin()
     }
 
-    /// The cloud config a scenario describes at this study's scale: the
-    /// cache and privileged-path ablation flags, the shared retry decay,
-    /// and the user-base sweep (demand growing `demand_factor`× against
-    /// fixed upload capacity).
+    /// The cloud config a scenario describes at this study's scale — see
+    /// [`CloudConfig::for_scenario`].
     pub fn scenario_cloud_config(&self, scenario: &Scenario) -> CloudConfig {
-        let mut cfg = CloudConfig::at_scale(self.scale);
-        cfg.cache_enabled = scenario.cache_enabled;
-        cfg.cache = scenario.cache;
-        cfg.cache_capacity_mb *= scenario.cache_capacity_factor;
-        cfg.privileged_paths_enabled = scenario.privileged_paths;
-        cfg.retry_decay = scenario.backend.retry_decay;
-        cfg.upload_total_kbps /= scenario.demand_factor;
-        cfg
+        CloudConfig::for_scenario(self.scale, scenario)
     }
 
     /// Replay the week on the cloud system (§4, Figs 8–11).

@@ -56,7 +56,7 @@ impl SweepSpec {
         let mut cells = Vec::with_capacity(self.scenarios.len() * self.seeds.len());
         for scenario in &self.scenarios {
             for &seed in &self.seeds {
-                cells.push((*scenario, seed));
+                cells.push((scenario.clone(), seed));
             }
         }
         cells
@@ -66,8 +66,9 @@ impl SweepSpec {
 /// Deterministic per-cell aggregates of one `(scenario, seed)` shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepCell {
-    /// Scenario preset name.
-    pub scenario: &'static str,
+    /// Scenario name (a registry preset, a user scenario, or an
+    /// axis-expanded variant like `grid/cache.policy=lru`).
+    pub scenario: String,
     /// Master seed of the shard's study.
     pub seed: u64,
     /// Requests replayed.
@@ -134,7 +135,7 @@ impl SweepCell {
         };
         let sim_events = registry.snapshot().counters.get("sim.events").copied().unwrap_or(0);
         SweepCell {
-            scenario: scenario.name,
+            scenario: scenario.name.clone(),
             seed,
             requests: report.counters.requests,
             cache_hits: report.counters.cache_hits,
@@ -305,9 +306,9 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
     }
     // Deterministic merge: whatever order the workers finished in, the
     // report is keyed and sorted by (scenario, seed).
-    let mut merged: BTreeMap<(&'static str, u64), SweepCell> = BTreeMap::new();
+    let mut merged: BTreeMap<(String, u64), SweepCell> = BTreeMap::new();
     for cell in results.into_iter().flatten() {
-        merged.insert((cell.scenario, cell.seed), cell);
+        merged.insert((cell.scenario.clone(), cell.seed), cell);
     }
     SweepReport {
         cells: merged.into_values().collect(),
@@ -320,17 +321,14 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
 /// variant is the scenario with `cache.policy` swapped and the name
 /// `"<scenario>/<policy>"`, so the `(scenario, seed)` merge key — and
 /// therefore the deterministic exports — distinguish policies without any
-/// format change. Variant names are leaked (`&'static str` is what
-/// [`Scenario`] carries); `repro cache-compare` builds one small grid per
-/// process, so the leak is a few bytes per run.
+/// format change.
 pub fn policy_variants(scenarios: &[Scenario], policies: &[PolicyKind]) -> Vec<Scenario> {
     let mut variants = Vec::with_capacity(scenarios.len() * policies.len());
     for scenario in scenarios {
         for &policy in policies {
-            let mut variant = *scenario;
+            let mut variant = scenario.clone();
             variant.cache.policy = policy;
-            variant.name =
-                Box::leak(format!("{}/{}", scenario.name, policy.name()).into_boxed_str());
+            variant.name = format!("{}/{}", scenario.name, policy.name());
             variants.push(variant);
         }
     }
@@ -346,8 +344,8 @@ mod tests {
         let registry = ScenarioRegistry::builtin();
         SweepSpec {
             scenarios: vec![
-                *registry.get("paper-default").unwrap(),
-                *registry.get("ablate-cache").unwrap(),
+                registry.get("paper-default").unwrap().clone(),
+                registry.get("ablate-cache").unwrap().clone(),
             ],
             seeds: vec![2015, 2016],
             scale: 0.0005,
@@ -380,7 +378,7 @@ mod tests {
                 c.wall_secs = sequential
                     .cells
                     .iter()
-                    .find(|s| (s.scenario, s.seed) == (c.scenario, c.seed))
+                    .find(|s| s.scenario == c.scenario && s.seed == c.seed)
                     .unwrap()
                     .wall_secs;
             }
@@ -453,7 +451,7 @@ mod policy_variant_tests {
         let base = registry.resolve("paper-default").unwrap();
         let variants = policy_variants(&base, &PolicyKind::ALL);
         assert_eq!(variants.len(), PolicyKind::ALL.len());
-        let names: Vec<_> = variants.iter().map(|v| v.name).collect();
+        let names: Vec<_> = variants.iter().map(|v| v.name.as_str()).collect();
         assert_eq!(
             names,
             vec![

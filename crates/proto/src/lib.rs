@@ -28,7 +28,7 @@ pub mod api;
 pub mod client;
 pub mod cookie;
 pub mod http;
-pub mod json;
+pub use odx_config::json;
 pub mod server;
 pub mod service;
 

@@ -31,6 +31,20 @@ impl ApModel {
     /// The three benchmarked models, in Table 1 order.
     pub const ALL: [ApModel; 3] = [ApModel::HiWiFi, ApModel::MiWiFi, ApModel::Newifi];
 
+    /// Stable lowercase config name (what scenario files write).
+    pub fn name(self) -> &'static str {
+        match self {
+            ApModel::HiWiFi => "hiwifi",
+            ApModel::MiWiFi => "miwifi",
+            ApModel::Newifi => "newifi",
+        }
+    }
+
+    /// Parse a config name produced by [`ApModel::name`].
+    pub fn parse(name: &str) -> Option<ApModel> {
+        ApModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// CPU clock (MHz) — Table 1.
     pub fn cpu_mhz(self) -> f64 {
         match self {

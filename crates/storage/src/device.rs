@@ -23,6 +23,21 @@ impl DeviceKind {
     pub const ALL: [DeviceKind; 4] =
         [DeviceKind::SdCard, DeviceKind::UsbFlash, DeviceKind::SataHdd, DeviceKind::UsbHdd];
 
+    /// Stable lowercase config name (what scenario files write).
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::SdCard => "sd-card",
+            DeviceKind::UsbFlash => "usb-flash",
+            DeviceKind::SataHdd => "sata-hdd",
+            DeviceKind::UsbHdd => "usb-hdd",
+        }
+    }
+
+    /// Parse a config name produced by [`DeviceKind::name`].
+    pub fn parse(name: &str) -> Option<DeviceKind> {
+        DeviceKind::ALL.into_iter().find(|d| d.name() == name)
+    }
+
     /// Spec-sheet maximum sequential write speed (MBps).
     pub fn max_write_mbps(self) -> f64 {
         match self {

@@ -20,6 +20,20 @@ impl FsKind {
     /// All filesystems, in Table 2 column order.
     pub const ALL: [FsKind; 3] = [FsKind::Fat, FsKind::Ntfs, FsKind::Ext4];
 
+    /// Stable lowercase config name (what scenario files write).
+    pub fn name(self) -> &'static str {
+        match self {
+            FsKind::Fat => "fat",
+            FsKind::Ntfs => "ntfs",
+            FsKind::Ext4 => "ext4",
+        }
+    }
+
+    /// Parse a config name produced by [`FsKind::name`].
+    pub fn parse(name: &str) -> Option<FsKind> {
+        FsKind::ALL.into_iter().find(|f| f.name() == name)
+    }
+
     /// Whether the OpenWrt write path goes through a user-space (FUSE)
     /// driver rather than a kernel driver.
     pub fn is_user_space(self) -> bool {

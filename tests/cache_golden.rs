@@ -26,7 +26,7 @@ const BASELINE_SCENARIOS: [&str; 6] = [
 fn spec_for(names: &[&str], seeds: Vec<u64>, jobs: usize) -> SweepSpec {
     let registry = ScenarioRegistry::builtin();
     SweepSpec {
-        scenarios: names.iter().map(|n| *registry.get(n).expect("known preset")).collect(),
+        scenarios: names.iter().map(|n| registry.get(n).expect("known preset").clone()).collect(),
         seeds,
         scale: 0.002,
         jobs,
@@ -62,7 +62,7 @@ fn lru_policy_reproduces_every_original_scenario_byte_for_byte() {
 #[test]
 fn explicit_lru_variant_matches_the_implicit_default() {
     let registry = ScenarioRegistry::builtin();
-    let base = vec![*registry.get("paper-default").unwrap()];
+    let base = vec![registry.get("paper-default").unwrap().clone()];
     let implicit = run_sweep(&SweepSpec {
         scenarios: base.clone(),
         seeds: vec![2015],
@@ -91,7 +91,7 @@ fn explicit_lru_variant_matches_the_implicit_default() {
 fn cache_compare_grid_is_jobs_invariant() {
     let registry = ScenarioRegistry::builtin();
     let base: Vec<_> =
-        ["paper-default", "cache-pressure"].map(|n| *registry.get(n).unwrap()).into();
+        ["paper-default", "cache-pressure"].map(|n| registry.get(n).unwrap().clone()).into();
     let spec = |jobs| SweepSpec {
         scenarios: policy_variants(&base, &PolicyKind::ALL),
         seeds: vec![2015, 2016],
@@ -109,7 +109,7 @@ fn cache_compare_grid_is_jobs_invariant() {
 #[test]
 fn policies_actually_diverge_under_cache_pressure() {
     let registry = ScenarioRegistry::builtin();
-    let base = vec![*registry.get("cache-pressure").unwrap()];
+    let base = vec![registry.get("cache-pressure").unwrap().clone()];
     let report = run_sweep(&SweepSpec {
         scenarios: policy_variants(&base, &PolicyKind::ALL),
         seeds: vec![2015],

@@ -1,0 +1,111 @@
+//! Golden pins for the scenarios-as-data refactor.
+//!
+//! `Scenario` used to be a `Copy` struct of hardwired presets; it is now
+//! resolved from layered [`ScenarioSpec`] data (baseline → preset/file
+//! delta → overrides). These tests prove the data pipeline is
+//! *behaviour-preserving* — every built-in preset resolved through the
+//! spec layer replays the pre-refactor cloud week byte for byte — and pin
+//! the canonical dump format plus the checked-in example scenario file.
+
+use odx::backend::{Scenario, ScenarioRegistry};
+use odx::config::ScenarioSpec;
+use odx::sweep::{policy_variants, run_sweep, SweepSpec};
+
+/// `tests/golden/sweep_all7_s2015_scale0002.*` were exported by the
+/// pre-refactor tree (`repro sweep --scenario all --seeds 1 --scale
+/// 0.002`) while presets were still hardwired `Copy` structs.
+#[test]
+fn spec_pipeline_replays_every_preset_byte_for_byte() {
+    let scenarios = ScenarioRegistry::builtin().resolve("all").expect("builtin selector");
+    assert_eq!(scenarios.len(), 7, "the goldens captured all 7 presets");
+    let report =
+        run_sweep(&SweepSpec { scenarios, seeds: vec![2015], scale: 0.002, jobs: 2, trace: None });
+    assert_eq!(
+        report.to_json(),
+        include_str!("golden/sweep_all7_s2015_scale0002.json"),
+        "a preset resolved through ScenarioSpec drifted from its hardwired behaviour"
+    );
+    assert_eq!(
+        report.to_csv(),
+        include_str!("golden/sweep_all7_s2015_scale0002.csv"),
+        "sweep CSV drifted from the pre-refactor baseline"
+    );
+}
+
+/// The canonical dump of every built-in preset is byte-stable (this is
+/// what `repro scenario dump --all` prints, newline-terminated).
+#[test]
+fn builtin_canonical_dumps_are_byte_stable() {
+    let reg = ScenarioRegistry::builtin();
+    let dumps: Vec<String> = reg.all_specs().iter().map(ScenarioSpec::to_canonical_json).collect();
+    let doc = format!("[{}]\n", dumps.join(","));
+    assert_eq!(
+        doc,
+        include_str!("golden/scenario_specs.json"),
+        "`scenario dump --all` output drifted; regenerate tests/golden/scenario_specs.json \
+         only for an intentional format change"
+    );
+    // Dump → parse → resolve lands on the same scenarios.
+    let mut reparsed = ScenarioRegistry::default();
+    assert_eq!(reparsed.load_json(&doc).unwrap(), reg.all().len());
+    assert_eq!(reparsed.all(), reg.all());
+}
+
+/// The checked-in example file loads, expands its two sweep axes into a
+/// 2×2 grid, and runs end-to-end through the sweep and the policy grid
+/// with `--jobs`-independent output.
+#[test]
+fn example_scenario_file_runs_end_to_end() {
+    let mut reg = ScenarioRegistry::builtin();
+    assert_eq!(reg.load_json(include_str!("../examples/campus-pressure.json")).unwrap(), 1);
+    let cells = reg.resolve("campus-pressure").expect("loaded scenario");
+    let names: Vec<&str> = cells.iter().map(|s| s.name.as_str()).collect();
+    // Axis keys expand in sorted (BTreeMap) order, values in declared
+    // order; the merged sweep report later re-sorts cells by name.
+    assert_eq!(
+        names,
+        [
+            "campus-pressure/cache.policy=lru/demand_factor=1",
+            "campus-pressure/cache.policy=lru/demand_factor=1.5",
+            "campus-pressure/cache.policy=gdsf/demand_factor=1",
+            "campus-pressure/cache.policy=gdsf/demand_factor=1.5",
+        ]
+    );
+    for cell in &cells {
+        assert_eq!(cell.cernet_share, Some(0.3), "file delta reaches every axis cell");
+        assert_eq!(cell.cache_capacity_factor, 0.02, "base cache-pressure inherited");
+    }
+    let spec = |scenarios: Vec<Scenario>, jobs| SweepSpec {
+        scenarios,
+        seeds: vec![2015],
+        scale: 0.0005,
+        jobs,
+        trace: None,
+    };
+    let serial = run_sweep(&spec(cells.clone(), 1));
+    let parallel = run_sweep(&spec(cells.clone(), 4));
+    assert_eq!(serial.to_json(), parallel.to_json(), "axis sweep must be jobs-invariant");
+    assert_eq!(serial.cells.len(), 4);
+    // The same cells feed the cache-compare grid (policy × axis cell).
+    let grid = run_sweep(&spec(policy_variants(&cells[..1], &odx::cache::PolicyKind::ALL), 2));
+    assert_eq!(grid.cells.len(), odx::cache::PolicyKind::ALL.len());
+}
+
+/// Regression: invalid configurations used to be silently accepted (the
+/// old `Scenario` was plain data with no validation hook). Through the
+/// file-loading path every bound violation now fails with a field path.
+#[test]
+fn invalid_configs_are_rejected_at_load_with_field_paths() {
+    let mut reg = ScenarioRegistry::builtin();
+    for (doc, path) in [
+        (r#"{"name": "x", "cernet_share": 1.0}"#, "cernet_share"),
+        (r#"{"name": "x", "demand_factor": 0}"#, "demand_factor"),
+        (r#"{"name": "x", "cache_capacity_factor": -0.5}"#, "cache_capacity_factor"),
+        (r#"{"name": "x", "cache.policy": "lrru"}"#, "cache.policy"),
+        (r#"{"name": "x", "ap_fleet.0.device": "floppy"}"#, "ap_fleet.0.device"),
+    ] {
+        let err = reg.load_json(doc).unwrap_err();
+        assert_eq!(err.path, path, "{err}");
+        assert!(reg.get("x").is_none(), "rejected scenario must not register");
+    }
+}

@@ -40,7 +40,7 @@ fn sweep_report_shape_is_sane() {
     let report = run_sweep(&spec(2015, 2, 2));
     assert_eq!(report.cells.len(), 4, "2 scenarios × 2 seeds");
     // Cells come out (scenario, seed)-sorted regardless of execution order.
-    let keys: Vec<_> = report.cells.iter().map(|c| (c.scenario, c.seed)).collect();
+    let keys: Vec<_> = report.cells.iter().map(|c| (c.scenario.clone(), c.seed)).collect();
     let mut sorted = keys.clone();
     sorted.sort();
     assert_eq!(keys, sorted);

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 fn traced_run(seed: u64, trace: &TraceConfig) -> (String, String, String) {
     let study = Study::generate(0.0005, seed);
-    let scenario = *Study::scenarios().get("paper-default").unwrap();
+    let scenario = Study::scenarios().get("paper-default").unwrap().clone();
     let registry = Registry::new();
     let (_, lifecycle) = study.replay_cloud_traced(&scenario, &registry, trace);
     (
@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn sampling_drops_whole_tasks_only(seed in 0u64..50_000, n in 2u64..9) {
         let study = Study::generate(0.0005, seed);
-        let scenario = *Study::scenarios().get("paper-default").unwrap();
+        let scenario = Study::scenarios().get("paper-default").unwrap().clone();
         let full = study
             .replay_cloud_traced(&scenario, &Registry::new(), &TraceConfig::full())
             .1;
@@ -68,7 +68,7 @@ proptest! {
 #[test]
 fn waterfall_stage_sums_equal_completion_times() {
     let study = Study::generate(0.001, 2015);
-    let scenario = *Study::scenarios().get("paper-default").unwrap();
+    let scenario = Study::scenarios().get("paper-default").unwrap().clone();
     let (_, lifecycle) =
         study.replay_cloud_traced(&scenario, &Registry::new(), &TraceConfig::full());
     let attribution = lifecycle.attribution();
@@ -95,7 +95,7 @@ fn waterfall_stage_sums_equal_completion_times() {
 #[test]
 fn sweep_attribution_merges_across_shards() {
     let spec = |jobs| SweepSpec {
-        scenarios: vec![*Study::scenarios().get("paper-default").unwrap()],
+        scenarios: vec![Study::scenarios().get("paper-default").unwrap().clone()],
         seeds: vec![2015, 2016, 2017],
         scale: 0.0005,
         jobs,
