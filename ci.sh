@@ -60,6 +60,16 @@ diff "$SWEEP_TMP/j1/sweep.json" "$SWEEP_TMP/j4/sweep.json"
 diff "$SWEEP_TMP/j1/sweep.csv" "$SWEEP_TMP/j4/sweep.csv"
 echo "sweep snapshots identical"
 
+echo "== scheduler parity: heap vs timing wheel must be byte-identical =="
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario all --seeds 1 --jobs 1 --scale 0.002 --out "$SWEEP_TMP/heap"
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario all --seeds 1 --jobs 1 --scale 0.002 \
+  --set sim.scheduler=wheel --out "$SWEEP_TMP/wheel"
+diff "$SWEEP_TMP/heap/sweep.json" "$SWEEP_TMP/wheel/sweep.json"
+diff "$SWEEP_TMP/heap/sweep.csv" "$SWEEP_TMP/wheel/sweep.csv"
+echo "scheduler snapshots identical"
+
 echo "== cache-compare smoke: all policies x 2 seeds, --jobs invariant =="
 cargo run --release -p odx-bench --bin repro -- cache-compare \
   --scenario all --seeds 2 --jobs 1 --scale 0.001 --out "$SWEEP_TMP/cc1"

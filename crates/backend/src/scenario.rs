@@ -13,6 +13,7 @@
 use odx_cache::{CacheConfig, PolicyKind};
 use odx_config::{ConfigError, Json, ScenarioSpec};
 use odx_net::IspMix;
+use odx_sim::SchedulerKind;
 use odx_smartap::ApModel;
 use odx_storage::{DeviceKind, FsKind};
 
@@ -57,6 +58,10 @@ pub struct Scenario {
     /// The three-AP fleet used by the AP benchmark and ODR's round-robin
     /// AP assignment.
     pub ap_fleet: [ApContext; 3],
+    /// Which future-event list the DES runs on (`--set
+    /// sim.scheduler=wheel`). Purely a wall-clock knob: both schedulers
+    /// produce byte-identical exports, pinned under test.
+    pub scheduler: SchedulerKind,
 }
 
 impl Scenario {
@@ -72,6 +77,14 @@ impl Scenario {
                 "cache policy",
                 &spec.cache.policy,
                 PolicyKind::ALL.map(PolicyKind::name),
+            )
+        })?;
+        let scheduler = SchedulerKind::parse(&spec.sim.scheduler).ok_or_else(|| {
+            ConfigError::unknown(
+                "sim.scheduler",
+                "scheduler",
+                &spec.sim.scheduler,
+                SchedulerKind::ALL.map(SchedulerKind::name),
             )
         })?;
         let mut fleet = Vec::with_capacity(3);
@@ -119,6 +132,7 @@ impl Scenario {
             demand_factor: spec.demand_factor,
             cernet_share: spec.cernet_share,
             ap_fleet: [fleet[0], fleet[1], fleet[2]],
+            scheduler,
         })
     }
 
@@ -144,6 +158,7 @@ impl Scenario {
             slot.device = ctx.device.name().to_owned();
             slot.fs = ctx.fs.name().to_owned();
         }
+        spec.sim.scheduler = self.scheduler.name().to_owned();
         spec
     }
 
@@ -479,6 +494,23 @@ mod tests {
         let err = Scenario::from_spec(&spec).unwrap_err();
         assert_eq!(err.path, "ap_fleet.0.model");
         assert!(err.message.contains("did you mean `hiwifi`?"), "{err}");
+
+        let mut spec = ScenarioSpec::baseline("x", "");
+        spec.sim.scheduler = "whel".into();
+        let err = Scenario::from_spec(&spec).unwrap_err();
+        assert_eq!(err.path, "sim.scheduler");
+        assert!(err.message.contains("did you mean `wheel`?"), "{err}");
+    }
+
+    #[test]
+    fn every_preset_defaults_to_the_heap_scheduler() {
+        let reg = ScenarioRegistry::builtin();
+        for s in reg.all() {
+            assert_eq!(s.scheduler, SchedulerKind::Heap, "{} scheduler", s.name);
+        }
+        let mut spec = ScenarioSpec::baseline("x", "");
+        spec.sim.scheduler = "wheel".into();
+        assert_eq!(Scenario::from_spec(&spec).unwrap().scheduler, SchedulerKind::Wheel);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use odx::sim::{EventQueue, SimTime};
+use odx::sim::{EventQueue, SimTime, TimingWheel};
 use odx::sweep::{run_sweep, SweepSpec};
 use odx::telemetry::TraceConfig;
 use odx::Study;
@@ -24,19 +24,25 @@ macro_rules! churn {
         let mut ids = Vec::with_capacity($n);
         let mut x: u64 = 0x2545_f491_4f6c_dd1d;
         let mut pops = 0u64;
+        let mut now = 0u64;
         for i in 0..$n as u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ids.push(q.schedule(SimTime::from_millis((x >> 33) % 1_000_000), i));
+            ids.push(q.schedule(SimTime::from_millis(now + (x >> 33) % 1_000_000), i));
             if i % 5 != 0 && i % 5 != 3 {
                 q.cancel(ids[((x >> 20) as usize) % ids.len()]);
             }
-            if i % 7 == 0 && q.pop().is_some() {
-                pops += 1;
+            if i % 7 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    now = t.as_millis();
+                    pops += 1;
+                }
             }
         }
-        while q.pop().is_some() {
+        while let Some((t, _)) = q.pop() {
+            now = t.as_millis();
             pops += 1;
         }
+        let _ = now;
         pops
     }};
 }
@@ -50,6 +56,9 @@ fn bench_event_queue_churn(c: &mut Criterion) {
     });
     group.bench_function("event_queue_churn_legacy", |b| {
         b.iter(|| black_box(churn!(odx::sim::legacy::EventQueue::new(), n)))
+    });
+    group.bench_function("event_queue_churn_wheel", |b| {
+        b.iter(|| black_box(churn!(TimingWheel::with_capacity(n), n)))
     });
     group.finish();
 }
@@ -81,6 +90,23 @@ fn bench_cloud_week_shard(c: &mut Criterion) {
             })
         });
     }
+    // The same untraced shard on the timing wheel: the headline scheduler
+    // comparison criterion tracks alongside `repro bench --json`'s
+    // `full_week` section.
+    group.bench_function("cloud_week_shard_wheel", |b| {
+        b.iter(|| {
+            let mut scenario = Study::scenarios().get("paper-default").unwrap().clone();
+            scenario.scheduler = odx::sim::SchedulerKind::Wheel;
+            let report = run_sweep(&SweepSpec {
+                scenarios: vec![scenario],
+                seeds: vec![2015],
+                scale,
+                jobs: 1,
+                trace: None,
+            });
+            black_box(report.total_events())
+        })
+    });
     group.finish();
 }
 

@@ -56,6 +56,16 @@ fn bad_set_path_and_value_exit_2_with_field_paths() {
 }
 
 #[test]
+fn bad_scheduler_vocab_exits_2_with_a_suggestion() {
+    let out = repro(&["headline", "--set", "sim.scheduler=whel"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("config error at `sim.scheduler`"), "{err}");
+    assert!(err.contains("unknown scheduler `whel`"), "{err}");
+    assert!(err.contains("did you mean `wheel`?"), "{err}");
+}
+
+#[test]
 fn unknown_subcommand_still_exits_2() {
     let out = repro(&["figg8"]);
     assert_eq!(out.status.code(), Some(2));

@@ -29,9 +29,8 @@ struct UploadMetrics {
 
 impl UploadMetrics {
     fn new(registry: &Registry) -> UploadMetrics {
-        let admit = |isp: Isp| {
-            registry.counter(&format!("cloud.upload.admit.{}", isp.to_string().to_lowercase()))
-        };
+        let admit =
+            |isp: Isp| registry.counter(&format!("cloud.upload.admit.{}", isp.lowercase_name()));
         UploadMetrics {
             admit: [
                 admit(Isp::Unicom),

@@ -1,7 +1,7 @@
 //! Cloud system constants (§2.1) and replay calibration.
 
 use odx_cache::CacheConfig;
-use odx_sim::SimDuration;
+use odx_sim::{SchedulerKind, SimDuration};
 
 /// Configuration of the Xuanfeng-like cloud.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +48,9 @@ pub struct CloudConfig {
     /// Ablation: disable privileged-path construction, forcing every fetch
     /// across the ISP barrier.
     pub privileged_paths_enabled: bool,
+    /// Which future-event list the replay runs on. A wall-clock knob only:
+    /// heap and wheel replays are byte-identical.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for CloudConfig {
@@ -67,6 +70,7 @@ impl Default for CloudConfig {
             retry_decay: odx_backend::BackendConfig::default().retry_decay,
             cache_enabled: true,
             privileged_paths_enabled: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -90,6 +94,7 @@ impl CloudConfig {
         cfg.privileged_paths_enabled = scenario.privileged_paths;
         cfg.retry_decay = scenario.backend.retry_decay;
         cfg.upload_total_kbps /= scenario.demand_factor;
+        cfg.scheduler = scenario.scheduler;
         cfg
     }
 

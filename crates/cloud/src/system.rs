@@ -7,14 +7,17 @@
 
 use odx_net::{Isp, HD_THRESHOLD_KBPS};
 use odx_p2p::FailureCause;
-use odx_sim::{Ctx, FxHashMap, RngFactory, SimDuration, SimRng, SimTime, Simulation, World};
+use odx_sim::{
+    ArrivalSource, Ctx, RngFactory, Scheduler, SimDuration, SimRng, SimTime, Simulation, World,
+};
 use odx_stats::dist::u01;
 use odx_stats::{BinnedSeries, Ecdf};
 use odx_telemetry::{
-    Counter, HistogramHandle, Lifecycle, LifecycleReport, Registry, Stage, TaskEnd, TraceConfig,
+    Counter, Histogram, HistogramHandle, Lifecycle, LifecycleReport, Registry, Stage, TaskEnd,
+    TraceConfig,
 };
 use odx_trace::records::{FetchRecord, PredownloadRecord};
-use odx_trace::{Catalog, PopularityClass, Population, Workload};
+use odx_trace::{Catalog, PopularityClass, Population, Request, Workload};
 
 use odx_cache::InstrumentedCache;
 
@@ -214,9 +217,39 @@ pub enum Ev {
     },
 }
 
-struct Pending {
-    outcome: PredownloadOutcome,
-    waiters: Vec<(u32, SimTime)>,
+/// Sentinel terminating the per-file waiter lists in the task arena.
+const NO_WAITER: u32 = u32::MAX;
+
+/// How many arrivals [`ArrivalChunks`] schedules per injection. Small
+/// enough that the future-event list holds one chunk plus in-flight
+/// follow-ups instead of the whole 4 M-request week, large enough that
+/// chunk-boundary bookkeeping is noise.
+const ARRIVAL_CHUNK: usize = 65_536;
+
+/// Streams the workload's arrivals into the scheduler chunk by chunk.
+///
+/// Arrivals keep the sequence numbers `0..N` they would have drawn under
+/// eager up-front scheduling ([`Simulation::reserve_seqs`] moves follow-up
+/// seqs past `N`), and [`Simulation::run_streamed`] injects a chunk before
+/// any event at or past its start time fires — so the replay's pop order
+/// (and therefore every export) is byte-identical to the eager scheme.
+struct ArrivalChunks<'a> {
+    requests: &'a [Request],
+    next: usize,
+}
+
+impl ArrivalSource<Ev> for ArrivalChunks<'_> {
+    fn peek(&mut self) -> Option<SimTime> {
+        self.requests.get(self.next).map(|r| r.at)
+    }
+
+    fn inject(&mut self, sched: &mut Scheduler<Ev>) {
+        let end = (self.next + ARRIVAL_CHUNK).min(self.requests.len());
+        for i in self.next..end {
+            sched.schedule_with_seq(self.requests[i].at, i as u64, Ev::Arrive(i as u32));
+        }
+        self.next = end;
+    }
 }
 
 /// Cached telemetry handles for the cloud replay. Handles are resolved
@@ -234,6 +267,27 @@ struct CloudMetrics {
     fetch_impeded: Counter,
     fetch_rate_kbps: HistogramHandle,
     predownload_delay_ms: HistogramHandle,
+}
+
+/// Hot-path mirrors of the registry metrics: plain integers and local
+/// histograms bumped by the event handler and flushed to the shared
+/// handles once per replay, so the per-event cost is an add — no `Arc`
+/// chase, no atomic RMW, no mutex. The flush is exact (counter totals
+/// and the integral histogram merge), so the final snapshot is
+/// byte-identical to per-event recording.
+#[derive(Default)]
+struct HotMetrics {
+    requests: u64,
+    cache_hit: u64,
+    cache_miss: u64,
+    dedup_joined: u64,
+    predownload_success: u64,
+    predownload_stagnation: u64,
+    failures_by_cause: [u64; 3],
+    fetch_completed: u64,
+    fetch_impeded: u64,
+    fetch_rate_kbps: Histogram,
+    predownload_delay_ms: Histogram,
 }
 
 impl CloudMetrics {
@@ -256,6 +310,24 @@ impl CloudMetrics {
             predownload_delay_ms: registry.histogram("cloud.predownload.delay_ms"),
         }
     }
+
+    /// Push a replay's accumulated hot-path tallies into the shared
+    /// handles (see [`HotMetrics`]).
+    fn flush(&self, hot: &HotMetrics) {
+        self.requests.add(hot.requests);
+        self.cache_hit.add(hot.cache_hit);
+        self.cache_miss.add(hot.cache_miss);
+        self.dedup_joined.add(hot.dedup_joined);
+        self.predownload_success.add(hot.predownload_success);
+        self.predownload_stagnation.add(hot.predownload_stagnation);
+        for (handle, &n) in self.failures_by_cause.iter().zip(&hot.failures_by_cause) {
+            handle.add(n);
+        }
+        self.fetch_completed.add(hot.fetch_completed);
+        self.fetch_impeded.add(hot.fetch_impeded);
+        self.fetch_rate_kbps.merge(&hot.fetch_rate_kbps);
+        self.predownload_delay_ms.merge(&hot.predownload_delay_ms);
+    }
 }
 
 /// The cloud world driven by the simulation engine.
@@ -268,10 +340,20 @@ pub struct XuanfengCloud<'a> {
     pool: InstrumentedCache,
     backend: CloudWeekBackend,
     rng_think: SimRng,
-    // Keyed by catalog index; FxHash keeps the per-event lookup a few ALU
-    // ops instead of a SipHash permutation (this map is hit on every
-    // arrival and every pre-download completion).
-    pending: FxHashMap<u32, Pending>,
+    // The task arena: a preallocated struct-of-arrays replacing the old
+    // `FxHashMap<u32, Pending>` and its per-task waiter Vecs. File-indexed
+    // (catalog size): the in-flight pre-download's outcome plus the
+    // head/tail of that file's waiter list. Task-indexed (workload size):
+    // the intrusive next pointer chaining waiters in arrival order. The
+    // per-event path is two array reads — no hashing, no rehash stalls,
+    // no waiter-Vec growth. Waiter arrival times are not stored: an
+    // arrival fires at exactly `workload.requests()[req].at` (scheduled
+    // from time zero, never clamped), so they are recovered from the
+    // workload on completion.
+    pending_outcome: Vec<Option<PredownloadOutcome>>,
+    waiter_head: Vec<u32>,
+    waiter_tail: Vec<u32>,
+    next_waiter: Vec<u32>,
     pd_delay_ms: Vec<u64>,
     predownloads: Vec<PredownloadRecord>,
     fetches: Vec<FetchRecord>,
@@ -281,7 +363,13 @@ pub struct XuanfengCloud<'a> {
     counters: Counters,
     // (failures, attempts) per popularity bucket for Fig 10.
     failure_bins: Vec<(u64, u64)>,
+    // Precomputed Fig 10 bucket per file: every arrival and failure
+    // bins by popularity, and reading a byte-sized bin from this dense
+    // side table (≲1 MB, L2-resident) replaces a `FileMeta` fetch from
+    // the much larger catalog — one fewer DRAM miss per event.
+    fig10_bin: Vec<u16>,
     metrics: CloudMetrics,
+    hot: HotMetrics,
     // Per-task lifecycle tracing; None keeps the hot path one branch.
     lifecycle: Option<Lifecycle>,
 }
@@ -289,11 +377,7 @@ pub struct XuanfengCloud<'a> {
 /// Static label for the ISP admitting an upload flow.
 fn isp_label(isp: Option<Isp>) -> &'static str {
     match isp {
-        Some(Isp::Unicom) => "unicom",
-        Some(Isp::Telecom) => "telecom",
-        Some(Isp::Mobile) => "mobile",
-        Some(Isp::Cernet) => "cernet",
-        Some(Isp::Other) => "other",
+        Some(isp) => isp.lowercase_name(),
         None => "none",
     }
 }
@@ -347,7 +431,10 @@ impl<'a> XuanfengCloud<'a> {
             pool,
             backend,
             rng_think: rngs.stream("cloud-think"),
-            pending: FxHashMap::default(),
+            pending_outcome: vec![None; catalog.len()],
+            waiter_head: vec![NO_WAITER; catalog.len()],
+            waiter_tail: vec![NO_WAITER; catalog.len()],
+            next_waiter: vec![NO_WAITER; workload.len()],
             pd_delay_ms: vec![0; workload.len()],
             predownloads: Vec::with_capacity(workload.len()),
             fetches: Vec::with_capacity(workload.len()),
@@ -356,7 +443,16 @@ impl<'a> XuanfengCloud<'a> {
             burden_hot: BinnedSeries::new(horizon_secs, 300.0),
             counters: Counters::default(),
             failure_bins: vec![(0, 0); FIG10_BINS],
+            fig10_bin: catalog
+                .files()
+                .iter()
+                .map(|f| {
+                    ((f64::from(f.weekly_requests) / FIG10_BIN_WIDTH) as usize).min(FIG10_BINS - 1)
+                        as u16
+                })
+                .collect(),
             metrics: CloudMetrics::new(odx_telemetry::global()),
+            hot: HotMetrics::default(),
             lifecycle: None,
         }
     }
@@ -461,25 +557,29 @@ impl<'a> XuanfengCloud<'a> {
         registry: &Registry,
         trace: Option<&TraceConfig>,
     ) -> (WeekReport, Option<LifecycleReport>) {
+        let scheduler = cfg.scheduler;
         let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
         world.metrics = CloudMetrics::new(registry);
         world.backend.rebind_metrics(registry);
         world.pool.rebind(registry);
         world.lifecycle = trace.map(Lifecycle::new);
         let flight = world.lifecycle.as_ref().map(|lifecycle| lifecycle.flight.clone());
-        // Every request is scheduled up front and spawns at most a couple of
-        // follow-up events, so sizing the queue to the workload means the
-        // heap and slab never grow mid-replay.
-        let mut sim = Simulation::with_capacity(world, workload.len() + 16);
+        // Arrivals stream in chunk by chunk, so the queue only ever holds
+        // one chunk plus in-flight follow-ups — not the whole week. The
+        // slab still grows on demand if follow-ups pile past the chunk.
+        let capacity = workload.len().min(2 * ARRIVAL_CHUNK) + 16;
+        let mut sim = Simulation::with_scheduler(world, scheduler, capacity);
         sim.attach_telemetry(registry.clone());
         if let Some(flight) = flight {
             sim.attach_flight_recorder(flight);
         }
-        for (i, r) in workload.requests().iter().enumerate() {
-            sim.schedule_at(r.at, Ev::Arrive(i as u32));
-        }
-        sim.run_to_completion();
+        // Arrivals keep seqs 0..N; follow-ups scheduled by handlers draw
+        // from N up, exactly as if every arrival were scheduled up front.
+        sim.reserve_seqs(workload.len() as u64);
+        let mut arrivals = ArrivalChunks { requests: workload.requests(), next: 0 };
+        sim.run_streamed(&mut arrivals);
         let mut world = sim.into_world();
+        world.metrics.flush(&world.hot);
         let lifecycle = world.lifecycle.take().map(|lifecycle| lifecycle.report());
         world.pool.finish(registry);
         let report = world.into_report();
@@ -519,16 +619,12 @@ impl<'a> XuanfengCloud<'a> {
             FailureCause::SystemBug => 2,
         };
         self.counters.failures_by_cause[slot] += requests;
-        self.metrics.failures_by_cause[slot].add(requests);
-        let w = f64::from(self.catalog.file(file).weekly_requests);
-        let bin = ((w / FIG10_BIN_WIDTH) as usize).min(FIG10_BINS - 1);
-        self.failure_bins[bin].0 += requests;
+        self.hot.failures_by_cause[slot] += requests;
+        self.failure_bins[self.fig10_bin[file as usize] as usize].0 += requests;
     }
 
     fn note_request(&mut self, file: u32) {
-        let w = f64::from(self.catalog.file(file).weekly_requests);
-        let bin = ((w / FIG10_BIN_WIDTH) as usize).min(FIG10_BINS - 1);
-        self.failure_bins[bin].1 += 1;
+        self.failure_bins[self.fig10_bin[file as usize] as usize].1 += 1;
     }
 
     fn hit_record(&self, at: SimTime) -> PredownloadRecord {
@@ -567,7 +663,7 @@ impl<'a> XuanfengCloud<'a> {
             // Rejected outright.
             self.counters.rejected_fetches += 1;
             self.counters.impeded_fetches += 1;
-            self.metrics.fetch_impeded.inc();
+            self.hot.fetch_impeded += 1;
             self.trace_instant(req, Stage::Admission, now, Some("reject"));
             self.trace_finish(req, TaskEnd::Rejected, now, Some("rejection"));
             self.fetches.push(FetchRecord {
@@ -601,7 +697,7 @@ impl<'a> XuanfengCloud<'a> {
         let secs = odx_net::transfer_secs(acquired_mb, plan.rate_kbps);
         if plan.rate_kbps < HD_THRESHOLD_KBPS {
             self.counters.impeded_fetches += 1;
-            self.metrics.fetch_impeded.inc();
+            self.hot.fetch_impeded += 1;
             if plan.crossed_barrier {
                 self.counters.impeded_barrier += 1;
             } else if user.access_kbps < HD_THRESHOLD_KBPS {
@@ -645,7 +741,7 @@ impl World for XuanfengCloud<'_> {
         match ev {
             Ev::Arrive(req) => {
                 self.counters.requests += 1;
-                self.metrics.requests.inc();
+                self.hot.requests += 1;
                 let request = &self.workload.requests()[req as usize];
                 let file_idx = request.file;
                 self.db.state_mut(file_idx).observed_requests += 1;
@@ -656,24 +752,27 @@ impl World for XuanfengCloud<'_> {
                 if self.pool.lookup(u64::from(file_idx), now.as_millis()).is_some() {
                     debug_assert!(self.db.state(file_idx).cached, "pool/DB flag drift");
                     self.counters.cache_hits += 1;
-                    self.metrics.cache_hit.inc();
+                    self.hot.cache_hit += 1;
                     self.predownloads.push(self.hit_record(now));
                     self.pd_delay_ms[req as usize] = 0;
                     let think = self.think_after_hit();
                     self.trace_instant(req, Stage::CacheLookup, now, Some("hit"));
                     self.trace_span(req, Stage::Queue, now, now + think, None);
                     ctx.schedule_in(think, Ev::FetchBegin { req });
-                } else if let Some(pending) = self.pending.get_mut(&file_idx) {
+                } else if self.waiter_head[file_idx as usize] != NO_WAITER {
                     // Another user's pre-download is already in flight; this
-                    // request will be satisfied (or fail) with it.
-                    pending.waiters.push((req, now));
+                    // request will be satisfied (or fail) with it. Append to
+                    // the file's waiter list (arrival order preserved).
+                    let tail = self.waiter_tail[file_idx as usize];
+                    self.next_waiter[tail as usize] = req;
+                    self.waiter_tail[file_idx as usize] = req;
                     self.counters.cache_hits += 1;
-                    self.metrics.cache_hit.inc();
-                    self.metrics.dedup_joined.inc();
+                    self.hot.cache_hit += 1;
+                    self.hot.dedup_joined += 1;
                     self.trace_instant(req, Stage::CacheLookup, now, Some("miss"));
                     self.trace_instant(req, Stage::DedupLookup, now, Some("joined"));
                 } else {
-                    self.metrics.cache_miss.inc();
+                    self.hot.cache_miss += 1;
                     self.trace_instant(req, Stage::CacheLookup, now, Some("miss"));
                     self.trace_instant(req, Stage::DedupLookup, now, Some("initiated"));
                     let file = self.catalog.file(file_idx);
@@ -681,17 +780,20 @@ impl World for XuanfengCloud<'_> {
                     let outcome = self.backend.predownload(file, prior);
                     self.db.state_mut(file_idx).in_flight = true;
                     ctx.schedule_in(outcome.duration(), Ev::PredlDone { file: file_idx });
-                    self.pending.insert(file_idx, Pending { outcome, waiters: vec![(req, now)] });
+                    self.pending_outcome[file_idx as usize] = Some(outcome);
+                    self.waiter_head[file_idx as usize] = req;
+                    self.waiter_tail[file_idx as usize] = req;
                 }
             }
             Ev::PredlDone { file } => {
-                let pending = self.pending.remove(&file).expect("pending entry exists");
+                let outcome =
+                    self.pending_outcome[file as usize].take().expect("pending entry exists");
                 self.db.state_mut(file).in_flight = false;
                 let meta = *self.catalog.file(file);
                 let now = ctx.now();
-                match pending.outcome {
+                match outcome {
                     PredownloadOutcome::Success { rate_kbps, traffic_mb, .. } => {
-                        self.metrics.predownload_success.inc();
+                        self.hot.predownload_success += 1;
                         if self.cfg.cache_enabled {
                             self.db.state_mut(file).cached = true;
                             // The eviction list may include `file` itself if
@@ -705,11 +807,16 @@ impl World for XuanfengCloud<'_> {
                         }
                         self.counters.predownload_traffic_mb += traffic_mb;
                         self.counters.predownload_payload_mb += meta.size_mb;
-                        for (i, (req, arrived)) in pending.waiters.iter().enumerate() {
+                        let mut cursor = self.waiter_head[file as usize];
+                        let mut i = 0usize;
+                        while cursor != NO_WAITER {
+                            let req = cursor;
+                            // Arrivals fire at exactly their workload time.
+                            let arrived = self.workload.requests()[req as usize].at;
                             // The initiator's record carries the transfer;
                             // joiners were satisfied by the same process.
                             self.predownloads.push(PredownloadRecord {
-                                start: *arrived,
+                                start: arrived,
                                 finish: now,
                                 acquired_mb: meta.size_mb,
                                 traffic_mb: if i == 0 { traffic_mb } else { 0.0 },
@@ -719,30 +826,31 @@ impl World for XuanfengCloud<'_> {
                                 success: true,
                                 failure_cause: None,
                             });
-                            let delay_ms = now.since(*arrived).as_millis();
-                            self.metrics.predownload_delay_ms.record(delay_ms);
-                            self.pd_delay_ms[*req as usize] = delay_ms;
+                            let delay_ms = now.since(arrived).as_millis();
+                            self.hot.predownload_delay_ms.record(delay_ms);
+                            self.pd_delay_ms[req as usize] = delay_ms;
                             let think = self.think_after_predownload();
                             let detail = if i == 0 { "initiator" } else { "joined" };
-                            self.trace_span(*req, Stage::Predownload, *arrived, now, Some(detail));
-                            self.trace_span(*req, Stage::Queue, now, now + think, None);
-                            ctx.schedule_in(think, Ev::FetchBegin { req: *req });
+                            self.trace_span(req, Stage::Predownload, arrived, now, Some(detail));
+                            self.trace_span(req, Stage::Queue, now, now + think, None);
+                            ctx.schedule_in(think, Ev::FetchBegin { req });
+                            cursor = self.next_waiter[req as usize];
+                            i += 1;
                         }
                     }
                     PredownloadOutcome::Failure { cause, traffic_mb, .. } => {
                         // Failed attempts are abandoned by the stagnation
                         // timeout rule, one firing per attempt.
-                        self.metrics.predownload_stagnation.inc();
+                        self.hot.predownload_stagnation += 1;
                         self.db.state_mut(file).failed_attempts += 1;
-                        let n = pending.waiters.len() as u64;
-                        self.record_failure_stats(file, n, cause);
-                        // Joiners (everyone but the initiator) were
-                        // optimistically counted as hits on arrival.
-                        self.counters.cache_hits -= n - 1;
                         self.counters.predownload_traffic_mb += traffic_mb;
-                        for (req, arrived) in &pending.waiters {
+                        let mut cursor = self.waiter_head[file as usize];
+                        let mut n = 0u64;
+                        while cursor != NO_WAITER {
+                            let req = cursor;
+                            let arrived = self.workload.requests()[req as usize].at;
                             self.predownloads.push(PredownloadRecord {
-                                start: *arrived,
+                                start: arrived,
                                 finish: now,
                                 acquired_mb: 0.0,
                                 traffic_mb,
@@ -753,16 +861,24 @@ impl World for XuanfengCloud<'_> {
                                 failure_cause: Some(cause),
                             });
                             self.trace_span(
-                                *req,
+                                req,
                                 Stage::Predownload,
-                                *arrived,
+                                arrived,
                                 now,
                                 Some(cause_label(cause)),
                             );
-                            self.trace_finish(*req, TaskEnd::Stagnated, now, Some("stagnation"));
+                            self.trace_finish(req, TaskEnd::Stagnated, now, Some("stagnation"));
+                            cursor = self.next_waiter[req as usize];
+                            n += 1;
                         }
+                        self.record_failure_stats(file, n, cause);
+                        // Joiners (everyone but the initiator) were
+                        // optimistically counted as hits on arrival.
+                        self.counters.cache_hits -= n - 1;
                     }
                 }
+                self.waiter_head[file as usize] = NO_WAITER;
+                self.waiter_tail[file as usize] = NO_WAITER;
             }
             Ev::FetchBegin { req } => self.begin_fetch(ctx, req),
             Ev::FetchEnd { req, server_isp, reserved_kbps, rate_kbps, began } => {
@@ -775,8 +891,8 @@ impl World for XuanfengCloud<'_> {
                 let delay = now.since(began);
                 let acquired_mb = rate_kbps * delay.as_secs_f64() / 1000.0;
                 self.counters.completed_fetches += 1;
-                self.metrics.fetch_completed.inc();
-                self.metrics.fetch_rate_kbps.record_f64(rate_kbps);
+                self.hot.fetch_completed += 1;
+                self.hot.fetch_rate_kbps.record_f64(rate_kbps);
                 self.backend.note_fetched(rate_kbps, acquired_mb);
                 self.fetches.push(FetchRecord {
                     user_id: request.user,
@@ -975,9 +1091,7 @@ mod tests {
         // Per-ISP admissions plus rejections cover every fetch attempt.
         let admitted: u64 = Isp::MAJORS
             .iter()
-            .map(|isp| {
-                snap_a.counters[&format!("cloud.upload.admit.{}", isp.to_string().to_lowercase())]
-            })
+            .map(|isp| snap_a.counters[&format!("cloud.upload.admit.{}", isp.lowercase_name())])
             .sum();
         assert_eq!(admitted + snap_a.counters["cloud.upload.reject"], report.fetches.len() as u64);
         // The sim hooks saw every scheduled event.

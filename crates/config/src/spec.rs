@@ -51,6 +51,15 @@ pub struct CacheSpec {
     pub shards: u32,
 }
 
+/// Engine-layer knobs (which future-event list the DES runs on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Scheduler name (`heap`, `wheel` — validated by the resolver, which
+    /// owns the scheduler vocabulary). Both produce byte-identical runs;
+    /// they differ only in wall-clock cost.
+    pub scheduler: String,
+}
+
 /// One AP of the benchmark fleet, by hardware names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApSpec {
@@ -92,6 +101,8 @@ pub struct ScenarioSpec {
     pub cernet_share: Option<f64>,
     /// The three-AP benchmark fleet.
     pub ap_fleet: Vec<ApSpec>,
+    /// Engine-layer knobs.
+    pub sim: SimSpec,
     /// Sweep axes: dotted path → the values the grid takes on that axis.
     pub axes: BTreeMap<String, Vec<Json>>,
 }
@@ -123,6 +134,7 @@ pub const KNOWN_PATHS: &[&str] = &[
     "ap_fleet.2.model",
     "ap_fleet.2.device",
     "ap_fleet.2.fs",
+    "sim.scheduler",
 ];
 
 /// The paths that may serve as sweep axes (everything settable except the
@@ -157,6 +169,7 @@ impl ScenarioSpec {
                 ApSpec::new("miwifi", "sata-hdd", "ext4"),
                 ApSpec::new("newifi", "usb-flash", "ntfs"),
             ],
+            sim: SimSpec { scheduler: "heap".into() },
             axes: BTreeMap::new(),
         }
     }
@@ -188,6 +201,7 @@ impl ScenarioSpec {
                     other => Some(num_at(path, other)?),
                 }
             }
+            "sim.scheduler" => self.sim.scheduler = str_at(path, value)?,
             _ => {
                 if let Some(rest) = path.strip_prefix("ap_fleet.") {
                     return self.set_fleet_path(path, rest, value);
@@ -237,7 +251,7 @@ impl ScenarioSpec {
                 "base" => {
                     str_at("base", value)?;
                 }
-                "backend" | "cache" => {
+                "backend" | "cache" | "sim" => {
                     let Json::Obj(nested) = value else {
                         return Err(ConfigError::at(key, "expected a JSON object"));
                     };
@@ -413,6 +427,7 @@ impl ScenarioSpec {
             ("demand_factor", Json::Num(self.demand_factor)),
             ("cernet_share", self.cernet_share.map(Json::Num).unwrap_or(Json::Null)),
             ("ap_fleet", Json::Arr(fleet)),
+            ("sim", Json::obj([("scheduler", Json::Str(self.sim.scheduler.clone()))])),
             ("axes", Json::Obj(axes)),
         ])
     }
@@ -533,6 +548,7 @@ mod tests {
                 "cache_enabled" | "privileged_paths" => Json::Bool(false),
                 "cache.policy" => Json::Str("gdsf".into()),
                 "cache.shards" => Json::Num(4.0),
+                "sim.scheduler" => Json::Str("wheel".into()),
                 "cernet_share" => Json::Num(0.25),
                 p if p.starts_with("ap_fleet.") => Json::Str("newifi".into()),
                 _ => Json::Num(0.5),

@@ -34,6 +34,19 @@ impl Isp {
         !matches!(self, Isp::Other)
     }
 
+    /// The lowercase ASCII name used wherever ISP names are stringified
+    /// into metric keys and trace labels (`cloud.upload.admit.<name>`).
+    /// Note `Cernet` displays as "CERNET" but keys stay lowercase.
+    pub const fn lowercase_name(self) -> &'static str {
+        match self {
+            Isp::Unicom => "unicom",
+            Isp::Telecom => "telecom",
+            Isp::Mobile => "mobile",
+            Isp::Cernet => "cernet",
+            Isp::Other => "other",
+        }
+    }
+
     /// Index into per-major-ISP arrays; `None` for [`Isp::Other`].
     pub fn major_index(self) -> Option<usize> {
         match self {
@@ -166,5 +179,16 @@ mod tests {
     fn display_names() {
         assert_eq!(Isp::Cernet.to_string(), "CERNET");
         assert_eq!(Isp::Unicom.to_string(), "Unicom");
+    }
+
+    #[test]
+    fn lowercase_names_match_display_except_cernet() {
+        for isp in [Isp::Unicom, Isp::Telecom, Isp::Mobile, Isp::Other] {
+            assert_eq!(isp.lowercase_name(), isp.to_string().to_lowercase());
+        }
+        // CERNET's metric key has always been lowercase despite the
+        // all-caps display name.
+        assert_eq!(Isp::Cernet.lowercase_name(), "cernet");
+        assert_eq!(Isp::Cernet.lowercase_name(), Isp::Cernet.to_string().to_lowercase());
     }
 }

@@ -2,8 +2,9 @@
 //! world, and dispatches events to the world until the queue drains or a
 //! horizon is reached.
 
-use crate::event::{EventId, EventQueue};
+use crate::event::EventId;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{Scheduler, SchedulerKind};
 use odx_telemetry::{Counter, FlightRecorder, Gauge, Registry};
 
 /// Cached metric handles for an instrumented [`Simulation`].
@@ -45,7 +46,7 @@ pub trait World {
 /// ability to schedule and cancel future events.
 pub struct Ctx<'a, E> {
     now: SimTime,
-    queue: &'a mut EventQueue<E>,
+    queue: &'a mut Scheduler<E>,
 }
 
 impl<E> Ctx<'_, E> {
@@ -72,10 +73,28 @@ impl<E> Ctx<'_, E> {
     }
 }
 
-/// The top-level driver combining a [`World`], an [`EventQueue`] and a clock.
+/// A lazily injected stream of externally scheduled events (arrival
+/// chunks). [`Simulation::run_streamed`] pulls from the source just in
+/// time, so a full-scale replay never holds its whole workload in the
+/// future-event list at once.
+pub trait ArrivalSource<E> {
+    /// Earliest firing time of the next pending chunk, or `None` when the
+    /// source is exhausted.
+    fn peek(&mut self) -> Option<SimTime>;
+
+    /// Schedule the next chunk into `sched`. Called only after [`peek`]
+    /// returned `Some`. Implementations that must preserve same-timestamp
+    /// tie-breaks against already-scheduled follow-ups should use
+    /// [`Scheduler::reserve_seqs`] + [`Scheduler::schedule_with_seq`].
+    ///
+    /// [`peek`]: ArrivalSource::peek
+    fn inject(&mut self, sched: &mut Scheduler<E>);
+}
+
+/// The top-level driver combining a [`World`], a [`Scheduler`] and a clock.
 pub struct Simulation<W: World> {
     world: W,
-    queue: EventQueue<W::Event>,
+    queue: Scheduler<W::Event>,
     now: SimTime,
     processed: u64,
     telemetry: Option<SimTelemetry>,
@@ -83,16 +102,10 @@ pub struct Simulation<W: World> {
 }
 
 impl<W: World> Simulation<W> {
-    /// Create a simulation at time zero with an empty agenda.
+    /// Create a simulation at time zero with an empty agenda, on the
+    /// default (slab-heap) scheduler.
     pub fn new(world: W) -> Self {
-        Simulation {
-            world,
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
-            processed: 0,
-            telemetry: None,
-            flight: None,
-        }
+        Self::with_scheduler(world, SchedulerKind::default(), 0)
     }
 
     /// Like [`Simulation::new`], but with the event queue's heap and slab
@@ -100,9 +113,16 @@ impl<W: World> Simulation<W> {
     /// that schedule their whole workload up front size this to the
     /// workload so the hot loop never reallocates.
     pub fn with_capacity(world: W, capacity: usize) -> Self {
+        Self::with_scheduler(world, SchedulerKind::default(), capacity)
+    }
+
+    /// Create a simulation on an explicit scheduler implementation (the
+    /// `sim.scheduler` scenario knob lands here). Both kinds produce
+    /// byte-identical runs; they differ only in wall-clock cost.
+    pub fn with_scheduler(world: W, kind: SchedulerKind, capacity: usize) -> Self {
         Simulation {
             world,
-            queue: EventQueue::with_capacity(capacity),
+            queue: Scheduler::with_capacity(kind, capacity),
             now: SimTime::ZERO,
             processed: 0,
             telemetry: None,
@@ -151,6 +171,19 @@ impl<W: World> Simulation<W> {
         self.world
     }
 
+    /// Which scheduler implementation this simulation runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
+    }
+
+    /// Reserve sequence numbers `0..n` for the setup pass, so events
+    /// injected later (e.g. by an [`ArrivalSource`]) with explicit
+    /// sequence numbers below `n` keep winning same-timestamp ties
+    /// against handler-scheduled follow-ups.
+    pub fn reserve_seqs(&mut self, n: u64) {
+        self.queue.reserve_seqs(n);
+    }
+
     /// Schedule an event at an absolute time (setup entry point).
     pub fn schedule_at(&mut self, at: SimTime, event: W::Event) -> EventId {
         self.queue.schedule(at.max(self.now), event)
@@ -163,6 +196,24 @@ impl<W: World> Simulation<W> {
 
     /// Process a single event, if any. Returns whether an event fired.
     pub fn step(&mut self) -> bool {
+        let fired = self.step_quiet();
+        if fired {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.events.inc();
+                telemetry.queue_depth.set(self.queue.len() as f64);
+            }
+        }
+        fired
+    }
+
+    /// [`step`] minus the per-event telemetry writes. The run loops call
+    /// this and flush the tallies once at the end — snapshot-identical,
+    /// since only the final counter total and the last gauge write are
+    /// observable after a run, but the hot loop sheds two shared-handle
+    /// atomics per event.
+    ///
+    /// [`step`]: Simulation::step
+    fn step_quiet(&mut self) -> bool {
         match self.queue.pop() {
             Some((time, event)) => {
                 debug_assert!(time >= self.now, "event queue must be monotone");
@@ -173,13 +224,23 @@ impl<W: World> Simulation<W> {
                 let mut ctx = Ctx { now: self.now, queue: &mut self.queue };
                 self.world.handle(&mut ctx, event);
                 self.processed += 1;
-                if let Some(telemetry) = &self.telemetry {
-                    telemetry.events.inc();
-                    telemetry.queue_depth.set(self.queue.len() as f64);
-                }
                 true
             }
             None => false,
+        }
+    }
+
+    /// Batch-apply the telemetry updates `fired` calls to [`step`] would
+    /// have made (no-op when nothing fired, so an idle run leaves the
+    /// gauge untouched exactly like the per-event path).
+    ///
+    /// [`step`]: Simulation::step
+    fn flush_run_telemetry(&mut self, fired: u64) {
+        if fired > 0 {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.events.add(fired);
+                telemetry.queue_depth.set(self.queue.len() as f64);
+            }
         }
     }
 
@@ -196,8 +257,9 @@ impl<W: World> Simulation<W> {
             if t > horizon {
                 break;
             }
-            self.step();
+            self.step_quiet();
         }
+        self.flush_run_telemetry(self.processed - before);
         if let (Some(telemetry), Some(span)) = (&self.telemetry, span) {
             telemetry.registry.tracer().close("sim.run", span, self.now.as_millis());
         }
@@ -207,6 +269,41 @@ impl<W: World> Simulation<W> {
     /// Run until no events remain. Returns the number of events processed.
     pub fn run_to_completion(&mut self) -> u64 {
         self.run_until(SimTime::MAX)
+    }
+
+    /// Run to completion while lazily admitting externally scheduled
+    /// events from `src`. A chunk is injected as soon as its earliest
+    /// firing time is ≤ the queue's head (or the queue is empty), so no
+    /// event at or past a chunk's start can fire before the chunk is in
+    /// the queue — the pop order is identical to scheduling everything up
+    /// front, but the future-event list only ever holds one chunk's worth
+    /// of arrivals plus in-flight follow-ups. Records the same single
+    /// `sim.run` span as [`run_until`].
+    ///
+    /// [`run_until`]: Simulation::run_until
+    pub fn run_streamed(&mut self, src: &mut impl ArrivalSource<W::Event>) -> u64 {
+        let before = self.processed;
+        let span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.registry.tracer().open("sim.run", self.now.as_millis()));
+        loop {
+            while let Some(t) = src.peek() {
+                if self.queue.peek_time().map_or(true, |head| t <= head) {
+                    src.inject(&mut self.queue);
+                } else {
+                    break;
+                }
+            }
+            if !self.step_quiet() {
+                break;
+            }
+        }
+        self.flush_run_telemetry(self.processed - before);
+        if let (Some(telemetry), Some(span)) = (&self.telemetry, span) {
+            telemetry.registry.tracer().close("sim.run", span, self.now.as_millis());
+        }
+        self.processed - before
     }
 }
 
@@ -322,6 +419,73 @@ mod tests {
         assert_eq!(snap.recorded, 3);
         let labels: Vec<&str> = snap.dumps[0].recent.iter().map(|e| e.label).collect();
         assert_eq!(labels, vec!["mark", "chain", "chain"]);
+    }
+
+    #[test]
+    fn wheel_scheduler_replays_identically() {
+        let run = |kind| {
+            let mut sim = Simulation::with_scheduler(Recorder::default(), kind, 64);
+            for i in 0..50 {
+                sim.schedule_at(SimTime::from_millis(i % 7), Ev::Chain("c", i % 3));
+            }
+            sim.run_to_completion();
+            (sim.now(), sim.processed(), sim.into_world().log)
+        };
+        assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Wheel));
+    }
+
+    struct Chunks {
+        chunks: Vec<Vec<(u64, u64)>>, // (at ms, reserved seq)
+        next: usize,
+    }
+
+    impl ArrivalSource<Ev> for Chunks {
+        fn peek(&mut self) -> Option<SimTime> {
+            self.chunks.get(self.next).map(|c| SimTime::from_millis(c[0].0))
+        }
+        fn inject(&mut self, sched: &mut Scheduler<Ev>) {
+            for &(at, seq) in &self.chunks[self.next] {
+                sched.schedule_with_seq(SimTime::from_millis(at), seq, Ev::Chain("s", 2));
+            }
+            self.next += 1;
+        }
+    }
+
+    #[test]
+    fn run_streamed_matches_eager_scheduling_byte_for_byte() {
+        let arrivals: Vec<u64> = (0..40).map(|i| (i * 13) % 200).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let eager = {
+            let mut sim = Simulation::new(Recorder::default());
+            sim.reserve_seqs(sorted.len() as u64);
+            for (i, &at) in sorted.iter().enumerate() {
+                sim.queue.schedule_with_seq(SimTime::from_millis(at), i as u64, Ev::Chain("s", 2));
+            }
+            sim.run_to_completion();
+            (sim.now(), sim.processed(), sim.into_world().log)
+        };
+        for kind in SchedulerKind::ALL {
+            let registry = odx_telemetry::Registry::new();
+            let mut sim = Simulation::with_scheduler(Recorder::default(), kind, 8);
+            sim.attach_telemetry(registry.clone());
+            sim.reserve_seqs(sorted.len() as u64);
+            let chunks: Vec<Vec<(u64, u64)>> = sorted
+                .chunks(7)
+                .enumerate()
+                .map(|(c, chunk)| {
+                    chunk.iter().enumerate().map(|(j, &at)| (at, (c * 7 + j) as u64)).collect()
+                })
+                .collect();
+            let mut src = Chunks { chunks, next: 0 };
+            let n = sim.run_streamed(&mut src);
+            assert_eq!(n, eager.1, "{kind}");
+            assert_eq!((sim.now(), sim.processed(), sim.into_world().log), eager, "{kind}");
+            // Exactly one sim.run span, same as run_until.
+            let snap = registry.snapshot();
+            assert_eq!(snap.trace.events.len(), 2, "{kind}");
+            assert_eq!(snap.counters["sim.events"], eager.1, "{kind}");
+        }
     }
 
     #[test]

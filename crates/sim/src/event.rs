@@ -29,8 +29,8 @@ use crate::time::SimTime;
 /// (generations would have to wrap around `u32` first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId {
-    slot: u32,
-    generation: u32,
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
 }
 
 /// What the binary heap actually stores: the ordering key plus the slab
@@ -121,6 +121,24 @@ impl<E> EventQueue<E> {
     /// Schedule `payload` to fire at `time`. Events scheduled for the same
     /// instant fire in scheduling order.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule_with_seq(time, seq, payload)
+    }
+
+    /// Reserve sequence numbers `0..n` for [`EventQueue::schedule_with_seq`]:
+    /// plain `schedule` calls will draw sequence numbers from `n` upward, so
+    /// a caller that knows its arrival count up front can keep injecting
+    /// arrivals lazily while preserving the same-timestamp tie-break order
+    /// an eager up-front scheduling pass would have produced.
+    pub fn reserve_seqs(&mut self, n: u64) {
+        self.next_seq = self.next_seq.max(n);
+    }
+
+    /// Schedule `payload` at `time` with an explicit, caller-reserved
+    /// sequence number (see [`EventQueue::reserve_seqs`]). The caller must
+    /// keep reserved sequence numbers unique; pop order is `(time, seq)`.
+    pub fn schedule_with_seq(&mut self, time: SimTime, seq: u64, payload: E) -> EventId {
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize].payload = Some(payload);
@@ -133,8 +151,7 @@ impl<E> EventQueue<E> {
             }
         };
         let generation = self.slots[slot as usize].generation;
-        self.heap.push(HeapEntry { time, seq: self.next_seq, slot, generation });
-        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, slot, generation });
         self.live += 1;
         EventId { slot, generation }
     }

@@ -14,6 +14,13 @@
 //!   generation-stamped slab, so cancellation is an O(1) array write and the
 //!   pop loop never hashes ([`legacy`] preserves the old `HashSet` design as
 //!   a benchmark baseline).
+//! * [`TimingWheel`] / [`Scheduler`] — a hierarchical timing wheel with O(1)
+//!   schedule that reproduces the heap's exact `(time, seq)` pop order, and
+//!   the enum that lets simulations pick either implementation at run time
+//!   (`--set sim.scheduler=wheel`).
+//! * [`ArrivalSource`] / [`Simulation::run_streamed`] — just-in-time chunk
+//!   admission, so full-scale replays never materialize millions of arrival
+//!   events in the queue up front.
 //! * [`FxHashMap`] / [`FxHashSet`] — deterministic FxHash-based maps for
 //!   simulation-internal lookups on the hot path.
 //! * [`RngFactory`] — named, independently seeded RNG streams, so adding a
@@ -60,10 +67,12 @@ mod rng;
 mod stats;
 mod time;
 mod token_bucket;
+mod wheel;
 
-pub use engine::{Ctx, Simulation, World};
+pub use engine::{ArrivalSource, Ctx, Simulation, World};
 pub use event::{EventId, EventQueue};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use wheel::{Scheduler, SchedulerKind, TimingWheel};
 
 /// The pre-slab event queue, kept in-tree as a benchmark/regression
 /// baseline — see [`legacy::EventQueue`] for why it must not be used in

@@ -1,0 +1,798 @@
+//! A deterministic hierarchical timing wheel, interchangeable with the
+//! slab-heap [`EventQueue`].
+//!
+//! The wheel replaces the heap's O(log n) sift with O(1) bucket pushes:
+//! five levels of power-of-two buckets cover ~49.7 days of millisecond
+//! ticks (level 0: 256 × 1 ms, then four levels of 64 slots each spanning
+//! 2^14, 2^20, 2^26 and 2^32 ms), and anything beyond the horizon parks in
+//! an overflow list that is re-dealt into the wheel when the cursor gets
+//! there. A full-week replay (≈ 6.05 × 10^8 ms) fits entirely inside the
+//! wheel, so the overflow never fires on the paper's workload.
+//!
+//! **Determinism.** The wheel reproduces the heap's exact `(time, seq)`
+//! total order. Every live entry in a level-0 bucket shares one absolute
+//! millisecond (the bucket *is* that millisecond within the current
+//! 256 ms window), so draining a bucket and sorting the survivors by
+//! sequence number yields precisely the heap's same-timestamp tie-break —
+//! scheduling order. Buckets drain in increasing time because the cursor
+//! only moves forward (higher levels cascade downward before their window
+//! is reached), and the rare backward jump — scheduling an event earlier
+//! than the cursor, legal on the raw queue API — is handled by re-dealing
+//! the wheel's whole contents against the new floor, preserving order at
+//! a cost proportional to the pending-event count.
+//!
+//! **Cancellation** reuses the generation-stamped slab of the slab-heap
+//! queue verbatim: cancel is an O(1) slab write, stale bucket entries are
+//! discarded on drain by a generation comparison, and cancelling an
+//! already-fired id is structurally a no-op ([`EventId`] generations move
+//! on when the payload leaves the slab).
+
+use crate::event::{EventId, EventQueue};
+use crate::time::SimTime;
+
+/// Number of wheel levels (excluding the overflow list).
+const LEVELS: usize = 5;
+/// Bit position of each level's least-significant slot bit.
+const SHIFT: [u32; LEVELS + 1] = [0, 8, 14, 20, 26, 32];
+/// Slots per level (level 0 has 256, the rest 64).
+const SLOTS: [usize; LEVELS] = [256, 64, 64, 64, 64];
+/// Slot-index mask per level.
+const MASK: [u64; LEVELS] = [255, 63, 63, 63, 63];
+
+/// `LEVEL_OF[(t ^ cur).leading_zeros()]`: the level that holds a time whose
+/// highest disagreement with the cursor is at that bit (`None` = beyond the
+/// wheel horizon, park in overflow). `leading_zeros == 64` means `t == cur`,
+/// which lives at level 0.
+const LEVEL_OF: [Option<usize>; 65] = {
+    let mut table = [None; 65];
+    let mut lz = 0;
+    while lz <= 64 {
+        if lz == 64 {
+            table[lz] = Some(0);
+        } else {
+            let h = 63 - lz as u32;
+            let mut level = 0;
+            while level < LEVELS {
+                if h < SHIFT[level + 1] {
+                    table[lz] = Some(level);
+                    break;
+                }
+                level += 1;
+            }
+        }
+        lz += 1;
+    }
+    table
+};
+
+/// What wheel buckets store: the ordering key plus the slab coordinates of
+/// the payload — the same 24-byte record the heap uses.
+#[derive(Debug, Clone, Copy)]
+struct WheelEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+/// One slab slot (see [`EventQueue`] for the generation protocol).
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
+}
+
+/// A deterministic future-event list with O(1) schedule and cancel.
+///
+/// Mirrors the [`EventQueue`] API exactly — `schedule`, `cancel`, `pop`,
+/// `peek_time`, `len` — and produces the identical pop sequence for any
+/// interleaving of those calls (property-tested in this module and pinned
+/// against the heap under heavy cancellation).
+pub struct TimingWheel<E> {
+    /// `buckets[level][slot]` — pending entries, possibly stale.
+    buckets: Vec<Vec<Vec<WheelEntry>>>,
+    /// Occupancy bitmaps: level 0 uses four words, levels 1–4 one each.
+    occ: Vec<Vec<u64>>,
+    /// Entries beyond the wheel horizon (≥ 2^32 ms past the cursor).
+    overflow: Vec<WheelEntry>,
+    /// Scan cursor in absolute ms: every bucket before it has drained.
+    cur: u64,
+    /// The drained bucket currently being popped, sorted by `seq`; all
+    /// entries share the absolute time `cur` while `ready_loaded`.
+    ready: Vec<WheelEntry>,
+    ready_pos: usize,
+    /// Whether `ready`/`cur` name a drained bucket (so same-time inserts
+    /// go straight into `ready`, keeping it seq-sorted).
+    ready_loaded: bool,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimingWheel<E> {
+    /// An empty wheel with its cursor at time zero.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty wheel whose payload slab is preallocated for `capacity`
+    /// concurrently pending events. Buckets grow lazily — they hold only
+    /// what lands in their window, so no per-bucket preallocation is
+    /// needed.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimingWheel {
+            buckets: SLOTS.iter().map(|&n| vec![Vec::new(); n]).collect(),
+            occ: SLOTS.iter().map(|&n| vec![0u64; n.div_ceil(64)]).collect(),
+            overflow: Vec::new(),
+            cur: 0,
+            ready: Vec::new(),
+            ready_pos: 0,
+            ready_loaded: false,
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Events scheduled for the same
+    /// instant fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule_with_seq(time, seq, payload)
+    }
+
+    /// Reserve sequence numbers `0..n` (see [`EventQueue::reserve_seqs`]).
+    pub fn reserve_seqs(&mut self, n: u64) {
+        self.next_seq = self.next_seq.max(n);
+    }
+
+    /// Schedule with an explicit, caller-reserved sequence number (see
+    /// [`EventQueue::schedule_with_seq`]).
+    pub fn schedule_with_seq(&mut self, time: SimTime, seq: u64, payload: E) -> EventId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].payload = Some(payload);
+                slot
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "event slab full");
+                self.slots.push(Slot { generation: 0, payload: Some(payload) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.live += 1;
+        self.place(WheelEntry { time, seq, slot, generation });
+        EventId { slot, generation }
+    }
+
+    /// Cancel a previously scheduled event: an O(1) slab write, identical
+    /// to [`EventQueue::cancel`]. The bucket entry stays behind as a stale
+    /// tombstone discarded on drain.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let Some(slot) = self.slots.get_mut(id.slot as usize) else { return false };
+        if slot.generation != id.generation || slot.payload.is_none() {
+            return false;
+        }
+        slot.payload = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        true
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            while self.ready_pos < self.ready.len() {
+                let entry = self.ready[self.ready_pos];
+                self.ready_pos += 1;
+                if self.is_current(&entry) {
+                    let slot = &mut self.slots[entry.slot as usize];
+                    let payload = slot.payload.take().expect("live wheel entry has a payload");
+                    slot.generation = slot.generation.wrapping_add(1);
+                    self.free.push(entry.slot);
+                    self.live -= 1;
+                    return Some((entry.time, payload));
+                }
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// The firing time of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            while self.ready_pos < self.ready.len() {
+                let entry = self.ready[self.ready_pos];
+                if self.is_current(&entry) {
+                    return Some(entry.time);
+                }
+                self.ready_pos += 1;
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Number of live (scheduled and neither fired nor cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `entry` still points at the live event it was placed for.
+    fn is_current(&self, entry: &WheelEntry) -> bool {
+        self.slots[entry.slot as usize].generation == entry.generation
+    }
+
+    /// Route `entry` to its bucket. A level holds the entry iff the
+    /// entry's time agrees with the cursor on every digit above that
+    /// level; past-cursor times trigger a full re-deal against the new
+    /// floor (legal on the raw queue API, never taken by the engine's
+    /// monotone replay loop except at streamed chunk boundaries).
+    fn place(&mut self, entry: WheelEntry) {
+        let t = entry.time.as_millis();
+        if t < self.cur {
+            self.rewind(t);
+        }
+        if self.ready_loaded && t == self.cur {
+            // Same instant as the bucket being drained: keep `ready`
+            // seq-sorted past the pop cursor (reserved seqs may be lower
+            // than already-queued ones, never lower than popped ones).
+            let at = self.ready[self.ready_pos..].partition_point(|e| e.seq < entry.seq)
+                + self.ready_pos;
+            self.ready.insert(at, entry);
+            return;
+        }
+        // The level is a function of the highest bit where `t` and the
+        // cursor disagree: level 0 holds times agreeing above bit 8, level
+        // 1 above bit 14, … (one lookup instead of a compare ladder — this
+        // runs once per placement and 2–3 times per event via cascades).
+        match LEVEL_OF[(t ^ self.cur).leading_zeros() as usize] {
+            Some(level) => {
+                let slot = ((t >> SHIFT[level]) & MASK[level]) as usize;
+                self.buckets[level][slot].push(entry);
+                self.occ[level][slot / 64] |= 1 << (slot % 64);
+            }
+            None => self.overflow.push(entry),
+        }
+    }
+
+    /// Move the cursor to the next non-empty bucket and load it into
+    /// `ready` (seq-sorted survivors of one absolute millisecond).
+    /// Returns `false` when no live events remain.
+    fn advance(&mut self) -> bool {
+        if self.live == 0 {
+            self.clear_stale();
+            return false;
+        }
+        'outer: loop {
+            // Level 0: the next occupied millisecond of the current
+            // 256 ms window is the next bucket to drain.
+            let from = ((self.cur & MASK[0]) as usize) + usize::from(self.ready_loaded);
+            let mut scan = from;
+            while let Some(slot) = self.next_occupied(0, scan) {
+                let time = (self.cur & !MASK[0]) | slot as u64;
+                self.occ[0][slot / 64] &= !(1 << (slot % 64));
+                let mut bucket = std::mem::take(&mut self.buckets[0][slot]);
+                self.ready.clear();
+                self.ready_pos = 0;
+                for e in bucket.drain(..) {
+                    if self.slots[e.slot as usize].generation == e.generation {
+                        debug_assert_eq!(e.time.as_millis(), time, "level-0 bucket is one ms");
+                        self.ready.push(e);
+                    }
+                }
+                self.buckets[0][slot] = bucket;
+                if self.ready.is_empty() {
+                    scan = slot + 1;
+                    continue; // only tombstones — keep scanning
+                }
+                self.ready.sort_unstable_by_key(|e| e.seq);
+                self.cur = time;
+                self.ready_loaded = true;
+                return true;
+            }
+            // Window exhausted: cascade the next occupied slot of the
+            // lowest level that has one down into the levels below it.
+            for level in 1..LEVELS {
+                let digit = ((self.cur >> SHIFT[level]) & MASK[level]) as usize;
+                let mut scan = digit + 1;
+                while let Some(slot) = self.next_occupied(level, scan) {
+                    self.occ[level][slot / 64] &= !(1 << (slot % 64));
+                    let mut bucket = std::mem::take(&mut self.buckets[level][slot]);
+                    if !bucket
+                        .iter()
+                        .any(|e| self.slots[e.slot as usize].generation == e.generation)
+                    {
+                        // Only tombstones — keep the buffer, keep scanning.
+                        bucket.clear();
+                        self.buckets[level][slot] = bucket;
+                        scan = slot + 1;
+                        continue;
+                    }
+                    // Jump the cursor to the slot's window start, then
+                    // re-deal its entries into the levels below. Every
+                    // live entry lands strictly below `level` (its digit
+                    // at `level` now matches the cursor's), so draining
+                    // the owned buffer and handing it back afterwards is
+                    // safe and keeps its capacity for the next lap.
+                    let base = (self.cur >> SHIFT[level + 1] << SHIFT[level + 1])
+                        | ((slot as u64) << SHIFT[level]);
+                    self.cur = base;
+                    self.ready_loaded = false;
+                    for e in bucket.drain(..) {
+                        if self.slots[e.slot as usize].generation == e.generation {
+                            self.place(e);
+                        }
+                    }
+                    self.buckets[level][slot] = bucket;
+                    continue 'outer;
+                }
+            }
+            // Whole wheel empty: re-deal the overflow against its minimum.
+            self.overflow.retain(|e| self.slots[e.slot as usize].generation == e.generation);
+            let Some(min) = self.overflow.iter().map(|e| e.time.as_millis()).min() else {
+                debug_assert_eq!(self.live, 0, "live events must be reachable");
+                return false;
+            };
+            self.cur = min;
+            self.ready_loaded = false;
+            for e in std::mem::take(&mut self.overflow) {
+                self.place(e);
+            }
+        }
+    }
+
+    /// First occupied slot index `>= from` at `level`, if any.
+    fn next_occupied(&self, level: usize, from: usize) -> Option<usize> {
+        if from >= SLOTS[level] {
+            return None;
+        }
+        let words = &self.occ[level];
+        let mut word_idx = from / 64;
+        let mut word = words[word_idx] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(word_idx * 64 + word.trailing_zeros() as usize);
+            }
+            word_idx += 1;
+            if word_idx >= words.len() {
+                return None;
+            }
+            word = words[word_idx];
+        }
+    }
+
+    /// Schedule an event earlier than the cursor: pull everything out and
+    /// re-deal it against the new floor. O(pending), and rare — the
+    /// engine's replay loop only triggers it when a streamed arrival chunk
+    /// starts before the already-drained bucket.
+    fn rewind(&mut self, floor: u64) {
+        let mut pending: Vec<WheelEntry> = Vec::with_capacity(self.live);
+        pending.extend(
+            self.ready[self.ready_pos..]
+                .iter()
+                .filter(|e| self.slots[e.slot as usize].generation == e.generation),
+        );
+        self.ready.clear();
+        self.ready_pos = 0;
+        self.ready_loaded = false;
+        for (level, &slots) in SLOTS.iter().enumerate().take(LEVELS) {
+            for slot in 0..slots {
+                if self.occ[level][slot / 64] & (1 << (slot % 64)) != 0 {
+                    pending.extend(
+                        self.buckets[level][slot]
+                            .drain(..)
+                            .filter(|e| self.slots[e.slot as usize].generation == e.generation),
+                    );
+                }
+            }
+            for word in &mut self.occ[level] {
+                *word = 0;
+            }
+        }
+        pending.append(&mut self.overflow);
+        self.cur = floor;
+        for e in pending {
+            self.place(e);
+        }
+    }
+
+    /// Drop leftover tombstones once the wheel is empty, so an emptied
+    /// wheel that is reused never scans (or re-deals) stale windows.
+    fn clear_stale(&mut self) {
+        debug_assert_eq!(self.live, 0);
+        self.ready.clear();
+        self.ready_pos = 0;
+        self.ready_loaded = false;
+        self.overflow.clear();
+        for level in 0..LEVELS {
+            for word_idx in 0..self.occ[level].len() {
+                let mut word = self.occ[level][word_idx];
+                while word != 0 {
+                    let slot = word_idx * 64 + word.trailing_zeros() as usize;
+                    self.buckets[level][slot].clear();
+                    word &= word - 1;
+                }
+                self.occ[level][word_idx] = 0;
+            }
+        }
+    }
+}
+
+/// Which future-event list a simulation runs on.
+///
+/// Selectable end to end via the scenario spec path `sim.scheduler`
+/// (`--set sim.scheduler=wheel`); both produce byte-identical replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// The slab binary heap ([`EventQueue`]): O(log n) schedule/pop.
+    #[default]
+    Heap,
+    /// The hierarchical timing wheel ([`TimingWheel`]): O(1) schedule,
+    /// amortised O(1) pop.
+    Wheel,
+}
+
+impl SchedulerKind {
+    /// Every scheduler, in canonical order.
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::Heap, SchedulerKind::Wheel];
+
+    /// The spec-vocabulary name (`heap` / `wheel`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Wheel => "wheel",
+        }
+    }
+
+    /// Parse a spec-vocabulary name.
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        SchedulerKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The small abstraction the engine runs on: either future-event list
+/// behind one enum, so `EventQueue` and `TimingWheel` are interchangeable
+/// without making every `World` generic over the scheduler.
+pub enum Scheduler<E> {
+    /// Slab binary heap.
+    Heap(EventQueue<E>),
+    /// Hierarchical timing wheel.
+    Wheel(TimingWheel<E>),
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler of the given kind.
+    pub fn new(kind: SchedulerKind) -> Self {
+        Self::with_capacity(kind, 0)
+    }
+
+    /// An empty scheduler with a preallocated payload slab.
+    pub fn with_capacity(kind: SchedulerKind, capacity: usize) -> Self {
+        match kind {
+            SchedulerKind::Heap => Scheduler::Heap(EventQueue::with_capacity(capacity)),
+            SchedulerKind::Wheel => Scheduler::Wheel(TimingWheel::with_capacity(capacity)),
+        }
+    }
+
+    /// Which implementation this is.
+    pub fn kind(&self) -> SchedulerKind {
+        match self {
+            Scheduler::Heap(_) => SchedulerKind::Heap,
+            Scheduler::Wheel(_) => SchedulerKind::Wheel,
+        }
+    }
+
+    /// See [`EventQueue::schedule`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        match self {
+            Scheduler::Heap(q) => q.schedule(time, payload),
+            Scheduler::Wheel(w) => w.schedule(time, payload),
+        }
+    }
+
+    /// See [`EventQueue::reserve_seqs`].
+    pub fn reserve_seqs(&mut self, n: u64) {
+        match self {
+            Scheduler::Heap(q) => q.reserve_seqs(n),
+            Scheduler::Wheel(w) => w.reserve_seqs(n),
+        }
+    }
+
+    /// See [`EventQueue::schedule_with_seq`].
+    pub fn schedule_with_seq(&mut self, time: SimTime, seq: u64, payload: E) -> EventId {
+        match self {
+            Scheduler::Heap(q) => q.schedule_with_seq(time, seq, payload),
+            Scheduler::Wheel(w) => w.schedule_with_seq(time, seq, payload),
+        }
+    }
+
+    /// See [`EventQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self {
+            Scheduler::Heap(q) => q.cancel(id),
+            Scheduler::Wheel(w) => w.cancel(id),
+        }
+    }
+
+    /// See [`EventQueue::pop`].
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            Scheduler::Heap(q) => q.pop(),
+            Scheduler::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// See [`EventQueue::peek_time`].
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            Scheduler::Heap(q) => q.peek_time(),
+            Scheduler::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        match self {
+            Scheduler::Heap(q) => q.len(),
+            Scheduler::Wheel(w) => w.len(),
+        }
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut w = TimingWheel::new();
+        // One entry per level, plus one past the horizon (overflow).
+        let times = [5u64, 300, 20_000, 2_000_000, 80_000_000, 5_000_000_000, 1 << 40];
+        for (i, &ms) in times.iter().enumerate() {
+            w.schedule(t(ms), i);
+        }
+        let mut sorted = times;
+        sorted.sort_unstable();
+        for &ms in &sorted {
+            let (at, _) = w.pop().expect("entry");
+            assert_eq!(at, t(ms));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut w = TimingWheel::new();
+        for i in 0..100 {
+            w.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(w.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop_and_does_not_skew_len() {
+        let mut w = TimingWheel::new();
+        let a = w.schedule(t(1), "a");
+        assert_eq!(w.pop(), Some((t(1), "a")));
+        assert!(!w.cancel(a), "cancelling a fired event must be a no-op");
+        assert_eq!(w.len(), 0);
+        w.schedule(t(2), "b");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((t(2), "b")));
+    }
+
+    #[test]
+    fn schedule_before_cursor_rewinds() {
+        let mut w = TimingWheel::new();
+        w.schedule(t(10), 1);
+        assert_eq!(w.pop(), Some((t(10), 1)));
+        w.schedule(t(5), 2); // earlier than the already-popped event is fine
+        w.schedule(t(6), 3);
+        w.schedule(t(400), 4); // different level after the rewind
+        assert_eq!(w.pop(), Some((t(5), 2)));
+        assert_eq!(w.pop(), Some((t(6), 3)));
+        assert_eq!(w.pop(), Some((t(400), 4)));
+    }
+
+    #[test]
+    fn peek_then_earlier_schedule_still_pops_in_order() {
+        // peek_time advances the cursor; a subsequent earlier schedule
+        // must still fire first (the chunk-boundary case).
+        let mut w = TimingWheel::new();
+        w.schedule(t(1000), "late");
+        assert_eq!(w.peek_time(), Some(t(1000)));
+        w.schedule(t(7), "early");
+        assert_eq!(w.peek_time(), Some(t(7)));
+        assert_eq!(w.pop(), Some((t(7), "early")));
+        assert_eq!(w.pop(), Some((t(1000), "late")));
+    }
+
+    #[test]
+    fn reserved_seqs_win_same_timestamp_ties_even_when_injected_late() {
+        // Mirrors streamed arrival admission: follow-ups drawn from the
+        // reserved-range top must lose ties against arrivals injected
+        // later with lower reserved seqs.
+        for kind in SchedulerKind::ALL {
+            let mut s: Scheduler<&str> = Scheduler::new(kind);
+            s.reserve_seqs(10);
+            s.schedule(t(500), "follow-up"); // seq 10
+            s.schedule_with_seq(t(500), 3, "arrival");
+            assert_eq!(s.pop(), Some((t(500), "arrival")), "{kind}");
+            assert_eq!(s.pop(), Some((t(500), "follow-up")), "{kind}");
+        }
+    }
+
+    /// Drive both schedulers through one interleaved op script and assert
+    /// identical pop sequences and identical `len()` throughout.
+    fn lockstep(ops: &[Op]) {
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut hids = Vec::new();
+        let mut wids = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Schedule(ms) => {
+                    hids.push(heap.schedule(t(ms), i as u64));
+                    wids.push(wheel.schedule(t(ms), i as u64));
+                }
+                Op::Cancel(idx) => {
+                    if !hids.is_empty() {
+                        let idx = idx % hids.len();
+                        // Cancel-after-fire included: ids are kept forever,
+                        // so stale handles hit both implementations alike.
+                        assert_eq!(heap.cancel(hids[idx]), wheel.cancel(wids[idx]));
+                    }
+                }
+                Op::Pop => {
+                    assert_eq!(heap.pop(), wheel.pop());
+                }
+                Op::Peek => {
+                    assert_eq!(heap.peek_time(), wheel.peek_time());
+                }
+            }
+            assert_eq!(heap.len(), wheel.len());
+        }
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            assert_eq!(a, b);
+            assert_eq!(heap.len(), wheel.len());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Schedule(u64),
+        Cancel(usize),
+        Pop,
+        Peek,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Weighted by arm duplication (the vendored proptest's
+        // `prop_oneof!` is unweighted). Time span crosses several wheel
+        // levels; the small modulus forces same-timestamp bursts.
+        prop_oneof![
+            (0u64..3_000_000).prop_map(Op::Schedule),
+            (0u64..3_000_000).prop_map(Op::Schedule),
+            (0u64..64).prop_map(|ms| Op::Schedule(ms % 7)),
+            any::<usize>().prop_map(Op::Cancel),
+            any::<usize>().prop_map(Op::Cancel),
+            Just(Op::Pop),
+            Just(Op::Peek),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random schedule/cancel/pop interleavings (cancel-after-fire and
+        /// same-timestamp bursts included) produce identical pop sequences
+        /// and identical `len()` on both schedulers.
+        #[test]
+        fn wheel_matches_heap_on_random_interleavings(
+            ops in proptest::collection::vec(op_strategy(), 1..400),
+        ) {
+            lockstep(&ops);
+        }
+
+        /// Far-future times exercise the overflow list and its re-deal.
+        #[test]
+        fn wheel_matches_heap_across_the_overflow_horizon(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (0u64..10_000).prop_map(Op::Schedule),
+                    ((1u64 << 31)..(1 << 34)).prop_map(Op::Schedule),
+                    any::<usize>().prop_map(Op::Cancel),
+                    Just(Op::Pop),
+                ],
+                1..200,
+            ),
+        ) {
+            lockstep(&ops);
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_under_heavy_cancellation() {
+        // The event.rs legacy-parity workload, replayed against the wheel.
+        let mut heap = EventQueue::new();
+        let mut wheel = TimingWheel::new();
+        let mut hids = Vec::new();
+        let mut wids = Vec::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for i in 0..4000u64 {
+            let at = t(step() % 10_000);
+            hids.push(heap.schedule(at, i));
+            wids.push(wheel.schedule(at, i));
+        }
+        for (i, (hid, wid)) in hids.iter().zip(&wids).enumerate() {
+            if i % 5 != 0 && i % 5 != 3 {
+                assert_eq!(heap.cancel(*hid), wheel.cancel(*wid));
+            }
+            if i % 97 == 0 {
+                assert_eq!(heap.pop(), wheel.pop());
+            }
+        }
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_kind_vocabulary_round_trips() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Heap);
+    }
+}

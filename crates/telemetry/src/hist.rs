@@ -7,8 +7,6 @@
 //! associative — merging shard histograms in any grouping yields the
 //! same result, which the property tests assert.
 
-use std::collections::BTreeMap;
-
 /// Sub-bucket precision: 2^5 = 32 sub-buckets per octave.
 const SUB_BITS: u32 = 5;
 const SUB_COUNT: u64 = 1 << SUB_BITS;
@@ -16,13 +14,31 @@ const SUB_COUNT: u64 = 1 << SUB_BITS;
 const EXACT_LIMIT: u64 = SUB_COUNT * 2;
 
 /// A mergeable log-bucketed histogram of `u64` samples.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Bucket counts live in a flat dense array indexed by bucket number
+/// (at most 1920 entries over the whole `u64` line, grown on demand),
+/// so `record` is an array increment — no tree walk, no allocation
+/// once the high-water bucket has been touched.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct Histogram {
-    buckets: BTreeMap<u32, u64>,
+    buckets: Vec<u64>,
     count: u64,
     sum: u128,
     min: u64,
     max: u64,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Histogram) -> bool {
+        // Trailing zero buckets are representation, not state: two
+        // histograms with the same samples compare equal regardless of
+        // their high-water marks.
+        self.count == other.count
+            && self.sum == other.sum
+            && self.min() == other.min()
+            && self.max() == other.max()
+            && self.nonzero().eq(other.nonzero())
+    }
 }
 
 /// Bucket index for `v`.
@@ -64,9 +80,23 @@ impl Histogram {
         Histogram::default()
     }
 
+    /// `(bucket index, count)` pairs for occupied buckets, ascending.
+    fn nonzero(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i as u32, n))
+    }
+
+    /// Bump bucket `idx`, growing the dense array to reach it.
+    fn bump(&mut self, idx: u32, n: u64) {
+        let idx = idx as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        self.bump(bucket_index(v), 1);
         self.count += 1;
         self.sum += u128::from(v);
         if self.count == 1 {
@@ -134,7 +164,7 @@ impl Histogram {
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
-        for (&idx, &n) in &self.buckets {
+        for (idx, n) in self.nonzero() {
             cumulative += n;
             if cumulative >= rank {
                 return bucket_lower(idx) + bucket_width(idx) - 1;
@@ -147,8 +177,8 @@ impl Histogram {
     /// sample streams into one histogram, and merging is associative
     /// and commutative.
     pub fn merge(&mut self, other: &Histogram) {
-        for (&idx, &n) in &other.buckets {
-            *self.buckets.entry(idx).or_insert(0) += n;
+        for (idx, n) in other.nonzero() {
+            self.bump(idx, n);
         }
         if other.count > 0 {
             if self.count == 0 {
@@ -173,7 +203,7 @@ impl Histogram {
             p50: self.value_at_quantile(0.50),
             p90: self.value_at_quantile(0.90),
             p99: self.value_at_quantile(0.99),
-            buckets: self.buckets.iter().map(|(&idx, &n)| (bucket_lower(idx), n)).collect(),
+            buckets: self.nonzero().map(|(idx, n)| (bucket_lower(idx), n)).collect(),
         }
     }
 }

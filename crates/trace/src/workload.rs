@@ -53,6 +53,75 @@ impl WorkloadConfig {
     }
 }
 
+/// Streaming, chunked expansion of the catalog's ground-truth weekly
+/// counts into requests, in generation (file-major) order.
+///
+/// The stream draws from the RNG in exactly the order the old eager loop
+/// did — per request: the arrival-time rejection sampler first, then the
+/// user index — so any consumer that drains it reproduces
+/// [`Workload::generate`]'s request sequence byte for byte (pinned under
+/// test). Consumers that don't need the whole week at once (admission
+/// pipelines, samplers) can process one bounded chunk at a time instead of
+/// materializing millions of requests up front.
+pub struct RequestStream<'a, 'r> {
+    catalog: &'a Catalog,
+    population: &'a Population,
+    cfg: &'a WorkloadConfig,
+    rng: &'r mut dyn Rng,
+    max_intensity: f64,
+    file_idx: usize,
+    emitted_for_file: u32,
+}
+
+impl<'a, 'r> RequestStream<'a, 'r> {
+    /// A stream over the whole catalog, starting at the first file.
+    pub fn new(
+        catalog: &'a Catalog,
+        population: &'a Population,
+        cfg: &'a WorkloadConfig,
+        rng: &'r mut dyn Rng,
+    ) -> Self {
+        let max_intensity =
+            cfg.day_weights.iter().fold(0.0f64, |a, &b| a.max(b)) * (1.0 + cfg.diurnal_amplitude);
+        RequestStream {
+            catalog,
+            population,
+            cfg,
+            rng,
+            max_intensity,
+            file_idx: 0,
+            emitted_for_file: 0,
+        }
+    }
+
+    /// Clear `buf` and fill it with up to `max` requests in generation
+    /// order. Returns `false` (with `buf` empty) once the stream is
+    /// exhausted. The buffer is caller-owned so a full drain allocates one
+    /// chunk, not one `Vec` per call.
+    pub fn next_chunk(&mut self, buf: &mut Vec<Request>, max: usize) -> bool {
+        buf.clear();
+        while buf.len() < max && self.file_idx < self.catalog.len() {
+            let file = self.catalog.file(self.file_idx as u32);
+            if self.emitted_for_file >= file.weekly_requests {
+                self.file_idx += 1;
+                self.emitted_for_file = 0;
+                continue;
+            }
+            self.emitted_for_file += 1;
+            let at = sample_arrival(self.cfg, self.max_intensity, self.rng);
+            buf.push(Request {
+                user: self.population.sample_index(self.rng),
+                file: self.file_idx as u32,
+                at,
+            });
+        }
+        !buf.is_empty()
+    }
+}
+
+/// Requests per [`RequestStream`] chunk during workload generation.
+const GENERATE_CHUNK: usize = 65_536;
+
 /// The generated request stream, sorted by arrival time.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -62,24 +131,26 @@ pub struct Workload {
 impl Workload {
     /// Expand the catalog's ground-truth weekly counts into timestamped
     /// requests assigned to random users. Deterministic in `rng`.
+    ///
+    /// Generation flows through the chunked [`RequestStream`] (one bounded
+    /// buffer at a time) and a final stable sort by arrival time — the
+    /// request sequence is byte-identical to the old eager file-major
+    /// loop. The sorted array itself stays materialized: replay handlers,
+    /// trace exporters, and samplers index it randomly, and at 16 bytes a
+    /// request even the full-scale week is ~65 MB — the multi-hundred-MB
+    /// cost the streaming path eliminates is the up-front event-queue
+    /// population, which now streams through chunked admission instead.
     pub fn generate(
         catalog: &Catalog,
         population: &Population,
         cfg: &WorkloadConfig,
         rng: &mut dyn Rng,
     ) -> Self {
-        let max_intensity =
-            cfg.day_weights.iter().fold(0.0f64, |a, &b| a.max(b)) * (1.0 + cfg.diurnal_amplitude);
         let mut requests = Vec::with_capacity(catalog.total_requests() as usize);
-        for (file_idx, file) in catalog.files().iter().enumerate() {
-            for _ in 0..file.weekly_requests {
-                let at = sample_arrival(cfg, max_intensity, rng);
-                requests.push(Request {
-                    user: population.sample_index(rng),
-                    file: file_idx as u32,
-                    at,
-                });
-            }
+        let mut stream = RequestStream::new(catalog, population, cfg, rng);
+        let mut chunk = Vec::with_capacity(GENERATE_CHUNK.min(requests.capacity()));
+        while stream.next_chunk(&mut chunk, GENERATE_CHUNK) {
+            requests.extend_from_slice(&chunk);
         }
         requests.sort_by_key(|r| r.at);
         Workload { requests }
@@ -88,6 +159,13 @@ impl Workload {
     /// The requests, sorted by time.
     pub fn requests(&self) -> &[Request] {
         &self.requests
+    }
+
+    /// The sorted requests in bounded slices of at most `n`, for consumers
+    /// that admit the week piecewise (the cloud replay's streamed arrival
+    /// injection) instead of holding every future event at once.
+    pub fn chunks(&self, n: usize) -> impl Iterator<Item = &[Request]> {
+        self.requests.chunks(n.max(1))
     }
 
     /// Number of requests.
@@ -126,6 +204,59 @@ mod tests {
         let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
         let w = Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
         (catalog, population, w)
+    }
+
+    #[test]
+    fn chunked_stream_matches_the_eager_loop_byte_for_byte() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let cfg = WorkloadConfig::default();
+
+        // The pre-streaming implementation: one eager file-major pass.
+        let mut eager_rng = rng.clone();
+        let mut generate_rng = rng.clone();
+        let max_intensity =
+            cfg.day_weights.iter().fold(0.0f64, |a, &b| a.max(b)) * (1.0 + cfg.diurnal_amplitude);
+        let mut eager = Vec::new();
+        for (file_idx, file) in catalog.files().iter().enumerate() {
+            for _ in 0..file.weekly_requests {
+                let at = sample_arrival(&cfg, max_intensity, &mut eager_rng);
+                eager.push(Request {
+                    user: population.sample_index(&mut eager_rng),
+                    file: file_idx as u32,
+                    at,
+                });
+            }
+        }
+
+        // Drain the stream with a deliberately awkward chunk size so
+        // chunk boundaries land mid-file.
+        let mut streamed = Vec::new();
+        let mut stream = RequestStream::new(&catalog, &population, &cfg, &mut rng);
+        let mut chunk = Vec::new();
+        while stream.next_chunk(&mut chunk, 7) {
+            assert!(chunk.len() <= 7);
+            streamed.extend_from_slice(&chunk);
+        }
+        assert_eq!(streamed, eager);
+
+        // And Workload::generate is exactly the stable sort of that
+        // generation-order sequence.
+        let mut sorted = eager;
+        sorted.sort_by_key(|r| r.at);
+        let w = Workload::generate(&catalog, &population, &cfg, &mut generate_rng);
+        assert_eq!(w.requests(), &sorted[..]);
+    }
+
+    #[test]
+    fn chunks_partition_the_sorted_requests() {
+        let (_, _, w) = workload();
+        let rejoined: Vec<Request> = w.chunks(1000).flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(rejoined, w.requests());
+        assert!(w.chunks(1000).all(|c| c.len() <= 1000));
+        // A zero chunk size is clamped rather than looping forever.
+        assert_eq!(w.chunks(0).next().map(|c| c.len()), Some(1));
     }
 
     #[test]
