@@ -79,6 +79,32 @@ diff "$SWEEP_TMP/cc1/cache_compare.json" "$SWEEP_TMP/cc4/cache_compare.json"
 diff "$SWEEP_TMP/cc1/cache_compare.csv" "$SWEEP_TMP/cc4/cache_compare.csv"
 echo "cache-compare snapshots identical"
 
+echo "== series smoke: --progress stays off stdout; series export --jobs invariant =="
+# A --progress sweep piped through a file: stdout must be byte-identical
+# to the same sweep without --progress (the reporter is stderr-only).
+# The one documented wall-clock line (events/sec aggregate) is filtered;
+# everything else on stdout is deterministic.
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario paper-default --seeds 2 --jobs 2 --scale 0.002 \
+  --progress 2> /dev/null | grep -v "events/sec aggregate" \
+  > "$SWEEP_TMP/progress.out"
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario paper-default --seeds 2 --jobs 2 --scale 0.002 \
+  | grep -v "events/sec aggregate" > "$SWEEP_TMP/plain.out"
+diff "$SWEEP_TMP/progress.out" "$SWEEP_TMP/plain.out"
+# The virtual-time series export must be byte-identical for any --jobs.
+cargo run --release -p odx-bench --bin repro -- series \
+  --scenario paper-default --seeds 2 --jobs 1 --scale 0.002 \
+  --out "$SWEEP_TMP/s1" > /dev/null
+cargo run --release -p odx-bench --bin repro -- series \
+  --scenario paper-default --seeds 2 --jobs 4 --scale 0.002 \
+  --progress --out "$SWEEP_TMP/s4" > /dev/null 2> /dev/null
+diff "$SWEEP_TMP/s1/series.json" "$SWEEP_TMP/s4/series.json"
+diff "$SWEEP_TMP/s1/series.csv" "$SWEEP_TMP/s4/series.csv"
+cargo run --release -p odx-bench --bin repro -- profile \
+  --scenario paper-default --scale 0.002
+echo "series export identical; progress stayed off stdout"
+
 echo "== trace smoke: lifecycle export must be valid Chrome trace JSON =="
 cargo run --release -p odx-bench --bin repro -- trace \
   --scenario paper-default --scale 0.002 --trace-sample 4 \

@@ -12,7 +12,10 @@ use odx_p2p::FailureCause;
 use odx_sim::{RngFactory, SimDuration};
 use odx_smartap::ApModel;
 use odx_stats::Ecdf;
-use odx_telemetry::{Lifecycle, LifecycleReport, Stage, TaskEnd, TraceConfig};
+use odx_telemetry::{
+    Counter, Lifecycle, LifecycleReport, Registry, SeriesRecorder, SeriesSnapshot, Stage, TaskEnd,
+    TraceConfig,
+};
 use odx_trace::{PopularityClass, SampledRequest};
 use serde::Serialize;
 
@@ -125,6 +128,34 @@ impl ApBenchReport {
     }
 }
 
+/// Counter handles plus the recorder for a series-observed benchmark
+/// replay. The harness is sequential, so counters are plain handles and
+/// sampling happens inline: due grid points are taken strictly before
+/// each task's completion advances the fleet clock past them.
+struct BenchSeries {
+    tasks: Counter,
+    failures: Counter,
+    storage_limited: Counter,
+    recorder: SeriesRecorder,
+}
+
+impl BenchSeries {
+    /// Charge one finished task: sample every grid point the fleet clock
+    /// has now passed, then count the task.
+    fn charge(&self, success: bool, storage_limited: bool, now_ms: u64) {
+        while self.recorder.next_due_ms() < now_ms {
+            self.recorder.sample_due();
+        }
+        self.tasks.inc();
+        if !success {
+            self.failures.inc();
+        }
+        if storage_limited {
+            self.storage_limited.inc();
+        }
+    }
+}
+
 /// The benchmark harness.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SmartApBenchmark;
@@ -144,7 +175,7 @@ impl SmartApBenchmark {
         fleet: &[ApContext; 3],
         rngs: &RngFactory,
     ) -> ApBenchReport {
-        Self::replay_fleet_inner(sample, fleet, rngs, None).0
+        Self::replay_fleet_inner(sample, fleet, rngs, None, None).0
     }
 
     /// Replay a fleet with per-task lifecycle tracing. The harness is
@@ -160,8 +191,35 @@ impl SmartApBenchmark {
         trace: &TraceConfig,
     ) -> (ApBenchReport, LifecycleReport) {
         let (report, lifecycle) =
-            Self::replay_fleet_inner(sample, fleet, rngs, Some(Lifecycle::new(trace)));
+            Self::replay_fleet_inner(sample, fleet, rngs, Some(Lifecycle::new(trace)), None);
         (report, lifecycle.expect("tracing was requested"))
+    }
+
+    /// Replay a fleet while recording a virtual-time metric series
+    /// (`ap.tasks`, `ap.failures`, `ap.storage_limited`) at `interval_ms`
+    /// on the benchmark's own clock — the busiest AP line's elapsed
+    /// virtual time, which is what the harness reports as total delay.
+    /// Tasks are charged in replay order. Counters land in `registry` and
+    /// the finished snapshot's last sample equals their final values.
+    pub fn replay_fleet_series(
+        sample: &[SampledRequest],
+        fleet: &[ApContext; 3],
+        rngs: &RngFactory,
+        registry: &Registry,
+        interval_ms: u64,
+    ) -> (ApBenchReport, SeriesSnapshot) {
+        let recorder = SeriesRecorder::new(interval_ms);
+        for name in ["ap.tasks", "ap.failures", "ap.storage_limited"] {
+            recorder.track_counter(name, registry.counter(name));
+        }
+        let ctx = BenchSeries {
+            tasks: registry.counter("ap.tasks"),
+            failures: registry.counter("ap.failures"),
+            storage_limited: registry.counter("ap.storage_limited"),
+            recorder: recorder.clone(),
+        };
+        let (report, _) = Self::replay_fleet_inner(sample, fleet, rngs, None, Some(&ctx));
+        (report, recorder.snapshot())
     }
 
     fn replay_fleet_inner(
@@ -169,6 +227,7 @@ impl SmartApBenchmark {
         fleet: &[ApContext; 3],
         rngs: &RngFactory,
         lifecycle: Option<Lifecycle>,
+        series: Option<&BenchSeries>,
     ) -> (ApBenchReport, Option<LifecycleReport>) {
         let mut backends: Vec<SmartApBackend> =
             fleet.iter().map(|&ap| SmartApBackend::bench(ap)).collect();
@@ -210,6 +269,10 @@ impl SmartApBenchmark {
                 }
             }
             ap_clock[slot] = ap_clock[slot] + out.duration;
+            if let Some(series) = series {
+                let now_ms = ap_clock.iter().map(|c| c.as_millis()).max().unwrap_or(0);
+                series.charge(out.success, out.storage_limited, now_ms);
+            }
             records.push(ApTaskRecord {
                 ap: fleet[slot].model,
                 request: *req,
@@ -221,6 +284,10 @@ impl SmartApBenchmark {
                 iowait: out.iowait,
                 storage_limited: out.storage_limited,
             });
+        }
+        if let Some(series) = series {
+            let end_ms = ap_clock.iter().map(|c| c.as_millis()).max().unwrap_or(0);
+            series.recorder.finish(end_ms);
         }
         (ApBenchReport { records }, lifecycle.map(|lifecycle| lifecycle.report()))
     }
@@ -298,6 +365,43 @@ mod tests {
         for ap in ApModel::ALL {
             assert_eq!(r.records_for(ap).count(), 333);
         }
+    }
+
+    #[test]
+    fn series_replay_ends_at_the_final_counter_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(147);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let sample = sample_benchmark_workload(&workload, &catalog, &population, 300, &mut rng);
+        let run = |interval_ms| {
+            let registry = Registry::new();
+            let (report, series) = SmartApBenchmark::replay_fleet_series(
+                &sample,
+                &ApContext::bench_fleet(),
+                &RngFactory::new(147),
+                &registry,
+                interval_ms,
+            );
+            (report, series, registry.snapshot())
+        };
+        let (report, series, snapshot) = run(3_600_000);
+        assert!(series.times.len() > 1, "a 300-task replay spans multiple sim-hours");
+        // The final sample equals the end-of-run counters, which equal
+        // the report's own tallies.
+        let last = |name: &str| series.series[name].final_value().unwrap();
+        assert_eq!(last("ap.tasks") as u64, 300);
+        assert_eq!(snapshot.counters["ap.tasks"], 300);
+        assert_eq!(
+            last("ap.failures") as u64,
+            report.records().iter().filter(|r| !r.success).count() as u64
+        );
+        // Same seed, same cadence → byte-identical series.
+        assert_eq!(series.to_json(), run(3_600_000).1.to_json());
+        // The observed replay's records match the unobserved harness.
+        let plain = SmartApBenchmark::replay(&sample, &RngFactory::new(147));
+        assert_eq!(plain.failure_ratio(), report.failure_ratio());
     }
 
     #[test]

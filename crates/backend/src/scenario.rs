@@ -62,6 +62,10 @@ pub struct Scenario {
     /// sim.scheduler=wheel`). Purely a wall-clock knob: both schedulers
     /// produce byte-identical exports, pinned under test.
     pub scheduler: SchedulerKind,
+    /// Virtual seconds between metric-series samples (`--set
+    /// telemetry.series_interval_s=60`). Only consulted by runs that
+    /// record a series; it never perturbs the simulated system.
+    pub series_interval_s: f64,
 }
 
 impl Scenario {
@@ -133,6 +137,7 @@ impl Scenario {
             cernet_share: spec.cernet_share,
             ap_fleet: [fleet[0], fleet[1], fleet[2]],
             scheduler,
+            series_interval_s: spec.telemetry.series_interval_s,
         })
     }
 
@@ -159,7 +164,15 @@ impl Scenario {
             slot.fs = ctx.fs.name().to_owned();
         }
         spec.sim.scheduler = self.scheduler.name().to_owned();
+        spec.telemetry.series_interval_s = self.series_interval_s;
         spec
+    }
+
+    /// The series sampling cadence in engine milliseconds (rounded,
+    /// clamped to at least 1 ms so a sub-millisecond spec value cannot
+    /// produce a zero-interval recorder).
+    pub fn series_interval_ms(&self) -> u64 {
+        (self.series_interval_s * 1000.0).round().max(1.0) as u64
     }
 
     /// The population's ISP mix under this scenario: the default 2015 mix,
@@ -638,6 +651,22 @@ mod tests {
         assert!(!reg.get("ablate-privileged").unwrap().privileged_paths);
         assert!(reg.get("ablate-privileged").unwrap().cache_enabled);
         assert_eq!(reg.get("sweep-userbase").unwrap().demand_factor, 1.5);
+    }
+
+    #[test]
+    fn series_interval_defaults_to_one_sim_hour_and_converts_to_ms() {
+        let reg = ScenarioRegistry::builtin();
+        for s in reg.all() {
+            assert_eq!(s.series_interval_s, 3600.0, "{} interval", s.name);
+            assert_eq!(s.series_interval_ms(), 3_600_000);
+        }
+        let mut spec = ScenarioSpec::baseline("x", "");
+        spec.telemetry.series_interval_s = 60.0;
+        let s = Scenario::from_spec(&spec).unwrap();
+        assert_eq!(s.series_interval_ms(), 60_000);
+        // Sub-millisecond cadences clamp instead of panicking downstream.
+        spec.telemetry.series_interval_s = 0.0001;
+        assert_eq!(Scenario::from_spec(&spec).unwrap().series_interval_ms(), 1);
     }
 
     #[test]

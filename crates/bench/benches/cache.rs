@@ -71,6 +71,8 @@ fn bench_cache_pressure_week(c: &mut Criterion) {
                     scale,
                     jobs: 1,
                     trace: None,
+                    series_interval_ms: None,
+                    progress: false,
                 });
                 black_box(report.total_events())
             })

@@ -85,6 +85,8 @@ fn bench_cloud_week_shard(c: &mut Criterion) {
                     scale,
                     jobs: 1,
                     trace: *trace,
+                    series_interval_ms: None,
+                    progress: false,
                 });
                 black_box(report.total_events())
             })
@@ -103,6 +105,8 @@ fn bench_cloud_week_shard(c: &mut Criterion) {
                 scale,
                 jobs: 1,
                 trace: None,
+                series_interval_ms: None,
+                progress: false,
             });
             black_box(report.total_events())
         })
@@ -122,6 +126,8 @@ fn bench_full_sweep(c: &mut Criterion) {
                 scale,
                 jobs: 4,
                 trace: None,
+                series_interval_ms: None,
+                progress: false,
             });
             black_box(report.total_events())
         })

@@ -6,8 +6,11 @@
 //! cargo run --release -p odx-bench --bin repro -- fig8 fig9
 //! cargo run --release -p odx-bench --bin repro -- headline --scenario ablate-cache
 //! cargo run --release -p odx-bench --bin repro -- sweep --scenario all --seeds 5 --jobs 4
+//! cargo run --release -p odx-bench --bin repro -- sweep --scenario all --seeds 5 --jobs 4 --progress
 //! cargo run --release -p odx-bench --bin repro -- cache-compare --scenario all --seeds 3
 //! cargo run --release -p odx-bench --bin repro -- attribute --scenario paper-default
+//! cargo run --release -p odx-bench --bin repro -- series --out series.csv
+//! cargo run --release -p odx-bench --bin repro -- profile
 //! cargo run --release -p odx-bench --bin repro -- trace --out trace.json
 //! cargo run --release -p odx-bench --bin repro -- bench --json BENCH_pr3.json
 //! cargo run --release -p odx-bench --bin repro -- scenario show cache-pressure
@@ -20,10 +23,12 @@
 //! Commands: `table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 headline fig13
 //! fig14 table2 fig15 fig16 fig17 ablate-cache ablate-privileged
 //! ablate-storage ablate-dedup ablate-ledbat ablate-concurrency sweep-userbase sweep-cache
-//! attribute trace check-trace sweep cache-compare bench export-traces list all`.
+//! attribute trace check-trace sweep cache-compare bench series profile
+//! export-traces list all`.
 //! (`attribute`, `trace`, `check-trace`, `sweep`, `cache-compare`, `bench`,
-//! and `export-traces` are opt-in — they are not part of `all`; `list`
-//! prints the available commands, scenario presets, and cache policies.)
+//! `series`, `profile`, and `export-traces` are opt-in — they are not part
+//! of `all`; `list` prints the available commands, scenario presets, and
+//! cache policies.)
 
 //! `cache-compare` sweeps every cache replacement policy (or just
 //! `--policy NAME`) across the selected scenarios × seeds on the sweep
@@ -79,6 +84,19 @@
 //! flight-recorder anomaly dumps next to it; `check-trace` validates such
 //! a file with the in-tree parser. Both exports are byte-identical across
 //! same-seed runs.
+//!
+//! Two clocks (`DESIGN.md` §two-clocks): `series` replays the selected
+//! scenario(s) × seeds while sampling the telemetry registry every
+//! `telemetry.series_interval_s` of *virtual* time (default one sim-hour,
+//! `--set telemetry.series_interval_s=N`) and exports the merged
+//! `(scenario, seed)`-keyed set as byte-stable JSON + CSV — identical for
+//! any `--jobs`, any scheduler, and same-seed reruns. `profile` replays
+//! with the per-handler *wall* profiler attached and prints the
+//! nondeterministic breakdown (per-event-kind handler seconds, scheduler
+//! pop cost, `other` residual) whose shares sum to exactly 100 % of
+//! replay wall. `sweep --progress` streams live shard progress
+//! (done/total, cumulative events/sec, ETA) to **stderr only**, leaving
+//! stdout and every export byte-identical.
 
 use std::collections::BTreeSet;
 use std::io::Write;
@@ -95,8 +113,10 @@ use odx::stats::fit::{fit_se, fit_zipf, rank_frequency};
 use odx::stats::Ecdf;
 use odx::storage::{DeviceKind, FsKind};
 use odx::Study;
-use odx_bench::{mmmm, rel, row};
-use odx_telemetry::{validate_chrome_trace, LifecycleReport, TraceConfig};
+use odx_bench::{mmmm, peak_rss_mb, rel, row};
+use odx_telemetry::{
+    render_rows, rows_from_walls, validate_chrome_trace, LifecycleReport, Registry, TraceConfig,
+};
 
 const COMMANDS: &[&str] = &[
     "table1",
@@ -128,6 +148,8 @@ const COMMANDS: &[&str] = &[
     "sweep",
     "cache-compare",
     "bench",
+    "series",
+    "profile",
     "export-traces",
     "list",
     "all",
@@ -170,6 +192,9 @@ struct Options {
     /// `--policy`: restrict `cache-compare` to one policy, and swap the
     /// pool policy of the active scenario for every other command.
     policy: Option<PolicyKind>,
+    /// `--progress`: live shard progress on stderr for `sweep`,
+    /// `cache-compare`, and `series` (stdout stays byte-identical).
+    progress: bool,
 }
 
 impl Options {
@@ -194,7 +219,7 @@ fn print_usage(out: &mut dyn Write) {
         out,
         "flags: --scenario NAME --scenario-file FILE --set dotted.path=value --policy NAME \
          --scale F --seed N --seeds N --jobs N --sample N \
-         --trace-sample N --out DIR --metrics FILE --json FILE"
+         --trace-sample N --out DIR --metrics FILE --json FILE --progress"
     );
     let _ = writeln!(out, "scenarios (--scenario):");
     for s in Study::scenarios().all() {
@@ -249,6 +274,7 @@ fn parse_args() -> Options {
     let mut metrics = None;
     let mut json = None;
     let mut policy = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -277,6 +303,7 @@ fn parse_args() -> Options {
             "--out" => out = Some(PathBuf::from(args.next().expect("--out dir"))),
             "--metrics" => metrics = Some(PathBuf::from(args.next().expect("--metrics file"))),
             "--json" => json = Some(PathBuf::from(args.next().expect("--json file"))),
+            "--progress" => progress = true,
             flag if flag.starts_with('-') => usage_error(&format!("flag `{flag}`")),
             word => positionals.push(word.to_owned()),
         }
@@ -356,6 +383,7 @@ fn parse_args() -> Options {
         metrics,
         json,
         policy,
+        progress,
     }
 }
 
@@ -407,10 +435,23 @@ fn main() {
     if opts.commands.contains("bench") {
         bench_report(&opts);
     }
+    if opts.commands.contains("series") {
+        series_cmd(&opts);
+    }
+    if opts.commands.contains("profile") {
+        profile_cmd(&opts);
+    }
     let only_standalone = opts.commands.iter().all(|c| {
         matches!(
             c.as_str(),
-            "sweep" | "cache-compare" | "bench" | "attribute" | "trace" | "check-trace"
+            "sweep"
+                | "cache-compare"
+                | "bench"
+                | "series"
+                | "profile"
+                | "attribute"
+                | "trace"
+                | "check-trace"
         )
     });
     if only_standalone {
@@ -530,8 +571,13 @@ fn main() {
     write_metrics(&opts);
 }
 
-/// Write the deterministic global-registry snapshot if `--metrics` asked.
+/// Record the process peak RSS in the (nondeterministic, export-excluded)
+/// wall section, then write the deterministic global-registry snapshot if
+/// `--metrics` asked. Runs at the end of every command path.
 fn write_metrics(opts: &Options) {
+    if let Some(mb) = peak_rss_mb() {
+        odx_telemetry::global().set_wall("proc.peak_rss_mb", mb);
+    }
     if let Some(path) = &opts.metrics {
         let json = odx_telemetry::global().snapshot().to_json();
         std::fs::write(path, &json).expect("write --metrics file");
@@ -787,7 +833,8 @@ fn headline(report: &WeekReport) {
     if let (Some(wall), Some(eps)) =
         (registry.wall("sim.wall_secs"), registry.wall("sim.events_per_sec"))
     {
-        println!("  perf: cloud replay {wall:.2}s wall — {eps:.0} events/sec (wall section, excluded from --metrics)");
+        let rss = peak_rss_mb().map_or(String::new(), |mb| format!(" — peak RSS {mb:.0} MB"));
+        println!("  perf: cloud replay {wall:.2}s wall — {eps:.0} events/sec{rss} (wall section, excluded from --metrics)");
     }
 }
 
@@ -978,7 +1025,15 @@ fn sweep_grid(opts: &Options) {
     // Sweeps stay untraced unless `--trace-sample N` opts in: tracing off
     // is the perf-neutral default for grid runs.
     let trace = (opts.trace_sample > 0).then(|| TraceConfig::sampled(opts.trace_sample));
-    let spec = SweepSpec { scenarios, seeds, scale: opts.scale, jobs: opts.jobs, trace };
+    let spec = SweepSpec {
+        scenarios,
+        seeds,
+        scale: opts.scale,
+        jobs: opts.jobs,
+        trace,
+        series_interval_ms: None,
+        progress: opts.progress,
+    };
     let report = run_sweep(&spec);
     // Per-shard wall perf rides in the registry's wall section (excluded
     // from the deterministic `--metrics` snapshot).
@@ -1056,6 +1111,8 @@ fn cache_compare(opts: &Options) {
         scale: opts.scale,
         jobs: opts.jobs,
         trace: None,
+        series_interval_ms: None,
+        progress: opts.progress,
     };
     let report = run_sweep(&spec);
     report.record_wall(odx_telemetry::global());
@@ -1109,6 +1166,89 @@ fn cache_compare(opts: &Options) {
     }
 }
 
+/// `series`: replay the selected scenario(s) × seeds on the sweep pool
+/// with virtual-time series recording and export the merged `(scenario,
+/// seed)`-keyed set as byte-stable JSON + CSV. The cadence is the active
+/// scenario's `telemetry.series_interval_s` (default one sim-hour,
+/// `--set telemetry.series_interval_s=N`); the exports are byte-identical
+/// for any `--jobs`, either scheduler, and same-seed reruns. `--out
+/// series.csv` names the CSV (sibling `.json` alongside); `--out DIR`
+/// writes `DIR/series.{csv,json}`; the default is `./series.{csv,json}`.
+fn series_cmd(opts: &Options) {
+    use odx::sweep::{run_sweep, SweepSpec};
+    let scenarios = resolve_scenarios(opts);
+    let seeds: Vec<u64> = (0..opts.seeds as u64).map(|i| opts.seed + i).collect();
+    let interval_ms = opts.scenario.series_interval_ms();
+    section(&format!(
+        "Series — virtual-time metrics every {interval_ms} ms over {} scenario(s) × {} seed(s)",
+        scenarios.len(),
+        seeds.len()
+    ));
+    let spec = SweepSpec {
+        scenarios,
+        seeds,
+        scale: opts.scale,
+        jobs: opts.jobs,
+        trace: None,
+        series_interval_ms: Some(interval_ms),
+        progress: opts.progress,
+    };
+    let report = run_sweep(&spec);
+    report.record_wall(odx_telemetry::global());
+    let set = report.series().expect("series recording was enabled");
+    for ((scenario, seed), snapshot) in &set.cells {
+        println!(
+            "  {:<28} seed {:<6} {:>4} sample(s) × {} metric(s)",
+            scenario,
+            seed,
+            snapshot.times.len(),
+            snapshot.series.len()
+        );
+    }
+    let json = set.to_json();
+    // Make the freshly recorded document available to `GET
+    // /metrics?series=1` when a proto server runs in this process.
+    odx_telemetry::publish_series(json.clone());
+    let (csv_path, json_path) = match &opts.out {
+        Some(p) if p.extension().is_some() => (p.clone(), p.with_extension("json")),
+        Some(dir) => (dir.join("series.csv"), dir.join("series.json")),
+        None => (PathBuf::from("series.csv"), PathBuf::from("series.json")),
+    };
+    std::fs::write(&csv_path, set.to_csv()).expect("write series CSV");
+    std::fs::write(&json_path, &json).expect("write series JSON");
+    println!(
+        "  [series → {} / {} — byte-identical for any --jobs]",
+        csv_path.display(),
+        json_path.display()
+    );
+}
+
+/// `profile`: replay the cloud week with the per-handler wall profiler
+/// attached and print the breakdown — wall seconds, events, and
+/// percent-of-replay per event-kind handler plus scheduler-pop cost; the
+/// `other` residual (chunk injection, loop overhead) makes the shares sum
+/// to exactly 100 % of replay wall. Everything here is wall-clock and
+/// therefore nondeterministic; nothing lands in deterministic exports.
+fn profile_cmd(opts: &Options) {
+    section(&format!(
+        "Profile — per-handler wall breakdown ({}, {} scheduler, nondeterministic)",
+        opts.scenario.name,
+        opts.scenario.scheduler.name()
+    ));
+    let study = Study::generate_scenario(opts.scale, opts.seed, &opts.scenario);
+    let registry = Registry::new();
+    let report = study.replay_cloud_profiled(&opts.scenario, &registry);
+    let wall = registry.snapshot().wall;
+    let (rows, run_secs) = rows_from_walls(&wall).expect("profiled replay flushed prof.* walls");
+    for line in render_rows(&rows, run_secs).lines() {
+        println!("  {line}");
+    }
+    println!(
+        "  {} request(s) replayed in {run_secs:.2}s — shares sum to 100% of replay wall",
+        report.counters.requests
+    );
+}
+
 /// One deterministic churn workload over either event-queue implementation:
 /// `n` schedules at LCG-drawn deltas past the last fired time (monotone,
 /// as the engine requires of every world), ~60 % cancels of random
@@ -1145,15 +1285,6 @@ macro_rules! churn {
     }};
 }
 
-/// Peak resident set size in MB, read from `/proc/self/status` (`VmHWM`).
-/// `None` wherever the platform doesn't expose procfs.
-fn peak_rss_mb() -> Option<f64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb / 1024.0)
-}
-
 fn bench_report(opts: &Options) {
     use odx::sweep::{run_sweep, SweepSpec};
     section("Bench — DES hot-path wall-clock report (nondeterministic)");
@@ -1180,6 +1311,8 @@ fn bench_report(opts: &Options) {
         scale: opts.scale,
         jobs: 1,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     });
     let cell = &shard.cells[0];
     let shard_eps = cell.sim_events as f64 / cell.wall_secs.max(1e-9);
@@ -1197,6 +1330,8 @@ fn bench_report(opts: &Options) {
         scale: opts.scale,
         jobs: 1,
         trace: Some(TraceConfig::sampled(16)),
+        series_interval_ms: None,
+        progress: false,
     });
     let traced_cell = &traced.cells[0];
     let traced_eps = traced_cell.sim_events as f64 / traced_cell.wall_secs.max(1e-9);
@@ -1215,6 +1350,8 @@ fn bench_report(opts: &Options) {
         scale: sweep_scale,
         jobs: opts.jobs,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     });
     println!(
         "  full sweep ({} cells @ scale {} on {} worker(s)): {:.2}s — {:.0} events/sec aggregate",
@@ -1283,9 +1420,17 @@ fn bench_report(opts: &Options) {
     let study = odx::Study::generate_scenario(full_scale, opts.seed, &opts.scenario);
     let kinds = odx::sim::SchedulerKind::ALL;
     let mut best_secs = [f64::INFINITY; 2];
+    let mut best_prof_secs = f64::INFINITY;
+    let prof_registry = Registry::new();
     let mut snapshots: [Option<String>; 2] = [None, None];
     let mut sim_events = 0u64;
     for _ in 0..reps {
+        // A profiled heap rep rides in the same interleaving, so its
+        // overhead ratio sees the same machine conditions as the plain
+        // replays it is compared against.
+        let start = std::time::Instant::now();
+        let _ = study.replay_cloud_profiled(&opts.scenario, &prof_registry);
+        best_prof_secs = best_prof_secs.min(start.elapsed().as_secs_f64());
         for (k, kind) in kinds.into_iter().enumerate() {
             let mut scenario = opts.scenario.clone();
             scenario.scheduler = kind;
@@ -1323,6 +1468,37 @@ fn bench_report(opts: &Options) {
         "    exports byte-identical; wheel speedup {wheel_speedup:.2}x{}",
         rss.map_or(String::new(), |mb| format!("; peak RSS {mb:.0} MB"))
     );
+
+    // The measured handler/scheduler split: BENCH_pr8 inferred ~75 % /
+    // ~25 % from end-to-end subtraction; the profiler buckets it per
+    // event kind. Shares come from the last profiled rep (ratios are
+    // stable across reps), the overhead from best-of-{reps} walls.
+    let prof_wall = prof_registry.snapshot().wall;
+    let (prof_rows, prof_run_secs) =
+        rows_from_walls(&prof_wall).expect("profiled replay flushed prof.* walls");
+    println!("  same week, per-handler wall profiler attached (heap, best of {reps}):");
+    for line in render_rows(&prof_rows, prof_run_secs).lines() {
+        println!("    {line}");
+    }
+    let handler_secs: f64 =
+        prof_rows.iter().filter(|r| r.label.starts_with("handler.")).map(|r| r.secs).sum();
+    let sched_secs =
+        prof_rows.iter().find(|r| r.label == "sched.pop").map(|r| r.secs).unwrap_or(0.0);
+    let handler_share = handler_secs / prof_run_secs.max(1e-9);
+    let sched_share = sched_secs / prof_run_secs.max(1e-9);
+    let prof_overhead = best_prof_secs / best_secs[0].max(1e-9) - 1.0;
+    println!(
+        "    handlers {:.0}% / scheduler {:.0}% of replay wall (BENCH_pr8 inferred ~75/~25); \
+         profiler overhead {:+.1}% vs plain heap",
+        100.0 * handler_share,
+        100.0 * sched_share,
+        100.0 * prof_overhead
+    );
+    let profile_json = format!(
+        "{{\"secs\":{best_prof_secs:.3},\"run_secs\":{prof_run_secs:.3},\
+         \"handler_share\":{handler_share:.3},\"sched_share\":{sched_share:.3},\
+         \"overhead\":{prof_overhead:.3}}}"
+    );
     let full_week_json = format!(
         "{{\"scenario\":\"{}\",\"scale\":{full_scale},\"sim_events\":{sim_events},\
          \"heap\":{{\"secs\":{:.3},\"events_per_sec\":{:.0}}},\
@@ -1351,7 +1527,7 @@ fn bench_report(opts: &Options) {
              \"sweep\":{{\"cells\":{},\"jobs\":{},\"scale\":{},\"total_events\":{},\
              \"secs\":{:.3},\"events_per_sec\":{:.0}}},\
              \"cache_churn\":{{\"ops\":{cache_ops},\"policies\":{cache_json}}},\
-             \"full_week\":{full_week_json}}}\n",
+             \"full_week\":{full_week_json},\"profile\":{profile_json}}}\n",
             cell.scenario,
             opts.scale,
             cell.sim_events,

@@ -32,6 +32,16 @@ pub fn rel(measured: f64, paper: f64) -> String {
     format!("{:+.0}%", 100.0 * (measured - paper) / paper)
 }
 
+/// Peak resident set size in MB, read from `/proc/self/status` (`VmHWM`).
+/// `None` wherever the platform doesn't expose procfs. Wall-section
+/// material: nondeterministic, never part of a deterministic export.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +58,12 @@ mod tests {
         let r = row("x", "1", "2".to_owned());
         assert!(r.contains("paper: 1"));
         assert!(r.contains("measured: 2"));
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_a_positive_high_water_mark() {
+        let mb = peak_rss_mb().expect("procfs exposes VmHWM on Linux");
+        assert!(mb > 0.0, "a running process has touched memory: {mb}");
     }
 }

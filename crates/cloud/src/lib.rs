@@ -46,5 +46,5 @@ pub use content_db::{ContentDb, FileState};
 pub use fetch::{FetchModel, FetchPlan};
 pub use odx_cache::{CacheConfig, PolicyKind};
 pub use predownload::{PredownloadModel, PredownloadOutcome};
-pub use system::{Counters, WeekReport, XuanfengCloud};
+pub use system::{Counters, Observers, WeekReport, XuanfengCloud};
 pub use upload::{Admission, UploadPool};

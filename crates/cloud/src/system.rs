@@ -13,8 +13,8 @@ use odx_sim::{
 use odx_stats::dist::u01;
 use odx_stats::{BinnedSeries, Ecdf};
 use odx_telemetry::{
-    Counter, Histogram, HistogramHandle, Lifecycle, LifecycleReport, Registry, Stage, TaskEnd,
-    TraceConfig,
+    Counter, Gauge, Histogram, HistogramHandle, Lifecycle, LifecycleReport, Registry,
+    SeriesRecorder, Stage, TaskEnd, TraceConfig,
 };
 use odx_trace::records::{FetchRecord, PredownloadRecord};
 use odx_trace::{Catalog, PopularityClass, Population, Request, Workload};
@@ -267,6 +267,13 @@ struct CloudMetrics {
     fetch_impeded: Counter,
     fetch_rate_kbps: HistogramHandle,
     predownload_delay_ms: HistogramHandle,
+    // Headline ratio gauges, also refreshed at every series sample so
+    // mid-run curves show the pool warming (the paper's Fig-shaped
+    // evolution), not just the end-of-week value.
+    hit_ratio: Gauge,
+    failure_ratio: Gauge,
+    rejection_ratio: Gauge,
+    impeded_ratio: Gauge,
 }
 
 /// Hot-path mirrors of the registry metrics: plain integers and local
@@ -308,26 +315,93 @@ impl CloudMetrics {
             fetch_impeded: registry.counter("cloud.fetch.impeded"),
             fetch_rate_kbps: registry.histogram("cloud.fetch.rate_kbps"),
             predownload_delay_ms: registry.histogram("cloud.predownload.delay_ms"),
+            hit_ratio: registry.gauge("cloud.hit_ratio"),
+            failure_ratio: registry.gauge("cloud.failure_ratio"),
+            rejection_ratio: registry.gauge("cloud.rejection_ratio"),
+            impeded_ratio: registry.gauge("cloud.impeded_ratio"),
         }
     }
 
-    /// Push a replay's accumulated hot-path tallies into the shared
-    /// handles (see [`HotMetrics`]).
-    fn flush(&self, hot: &HotMetrics) {
-        self.requests.add(hot.requests);
-        self.cache_hit.add(hot.cache_hit);
-        self.cache_miss.add(hot.cache_miss);
-        self.dedup_joined.add(hot.dedup_joined);
-        self.predownload_success.add(hot.predownload_success);
-        self.predownload_stagnation.add(hot.predownload_stagnation);
-        for (handle, &n) in self.failures_by_cause.iter().zip(&hot.failures_by_cause) {
-            handle.add(n);
+    /// Drain the accumulated hot-path tallies into the shared handles
+    /// (see [`HotMetrics`]), leaving the batch empty. Draining (rather
+    /// than adding and keeping) lets mid-run series samples flush the
+    /// same batch repeatedly without double-counting; the end-of-run
+    /// call just pushes whatever accumulated since the last sample.
+    fn drain(&self, hot: &mut HotMetrics) {
+        self.requests.add(std::mem::take(&mut hot.requests));
+        self.cache_hit.add(std::mem::take(&mut hot.cache_hit));
+        self.cache_miss.add(std::mem::take(&mut hot.cache_miss));
+        self.dedup_joined.add(std::mem::take(&mut hot.dedup_joined));
+        self.predownload_success.add(std::mem::take(&mut hot.predownload_success));
+        self.predownload_stagnation.add(std::mem::take(&mut hot.predownload_stagnation));
+        for (handle, n) in self.failures_by_cause.iter().zip(&mut hot.failures_by_cause) {
+            handle.add(std::mem::take(n));
         }
-        self.fetch_completed.add(hot.fetch_completed);
-        self.fetch_impeded.add(hot.fetch_impeded);
-        self.fetch_rate_kbps.merge(&hot.fetch_rate_kbps);
-        self.predownload_delay_ms.merge(&hot.predownload_delay_ms);
+        self.fetch_completed.add(std::mem::take(&mut hot.fetch_completed));
+        self.fetch_impeded.add(std::mem::take(&mut hot.fetch_impeded));
+        self.fetch_rate_kbps.merge(&std::mem::take(&mut hot.fetch_rate_kbps));
+        self.predownload_delay_ms.merge(&std::mem::take(&mut hot.predownload_delay_ms));
     }
+}
+
+/// Optional observers for a cloud replay: any combination of per-task
+/// lifecycle tracing, virtual-time series recording, and wall profiling.
+/// [`Default`] is the unobserved replay.
+#[derive(Default)]
+pub struct Observers<'a> {
+    /// Per-task lifecycle tracing (`None` = off).
+    pub trace: Option<&'a TraceConfig>,
+    /// Virtual-time series recording: the replay registers the cloud's
+    /// headline metrics on the recorder, samples them on the engine's
+    /// grid, and finishes the series at the end-of-run clock.
+    pub series: Option<SeriesRecorder>,
+    /// Wall profiling: per-handler and scheduler-pop `Instant` buckets,
+    /// flushed into the registry's wall section.
+    pub profile: bool,
+}
+
+/// Register the cloud replay's headline metrics on a series recorder:
+/// engine throughput, the request/cache/pre-download/fetch counters, the
+/// per-ISP upload admissions (the paper's per-ISP weekly curves), the
+/// headline ratio gauges, and the median fetch rate.
+fn register_cloud_series(series: &SeriesRecorder, registry: &Registry) {
+    const COUNTERS: [&str; 17] = [
+        "sim.events",
+        "cloud.requests",
+        "cloud.cache.hit",
+        "cloud.cache.miss",
+        "cloud.dedup.joined",
+        "cloud.predownload.success",
+        "cloud.predownload.stagnation",
+        "cloud.predownload.fail.seeds",
+        "cloud.predownload.fail.connection",
+        "cloud.predownload.fail.bug",
+        "cloud.fetch.completed",
+        "cloud.fetch.impeded",
+        "cloud.upload.admit.unicom",
+        "cloud.upload.admit.telecom",
+        "cloud.upload.admit.mobile",
+        "cloud.upload.admit.cernet",
+        "cloud.upload.reject",
+    ];
+    for name in COUNTERS {
+        series.track_counter(name, registry.counter(name));
+    }
+    const GAUGES: [&str; 5] = [
+        "sim.queue_depth",
+        "cloud.hit_ratio",
+        "cloud.failure_ratio",
+        "cloud.rejection_ratio",
+        "cloud.impeded_ratio",
+    ];
+    for name in GAUGES {
+        series.track_gauge(name, registry.gauge(name));
+    }
+    series.track_quantile(
+        "cloud.fetch.rate_kbps.p50",
+        registry.histogram("cloud.fetch.rate_kbps"),
+        0.5,
+    );
 }
 
 /// The cloud world driven by the simulation engine.
@@ -525,7 +599,16 @@ impl<'a> XuanfengCloud<'a> {
         rngs: &RngFactory,
         registry: &Registry,
     ) -> WeekReport {
-        Self::replay_inner(catalog, population, workload, cfg, rngs, registry, None).0
+        Self::replay_observed(
+            catalog,
+            population,
+            workload,
+            cfg,
+            rngs,
+            registry,
+            Observers::default(),
+        )
+        .0
     }
 
     /// Run the full replay with per-task lifecycle tracing on: every
@@ -543,27 +626,37 @@ impl<'a> XuanfengCloud<'a> {
         registry: &Registry,
         trace: &TraceConfig,
     ) -> (WeekReport, LifecycleReport) {
+        let observers = Observers { trace: Some(trace), ..Observers::default() };
         let (report, lifecycle) =
-            Self::replay_inner(catalog, population, workload, cfg, rngs, registry, Some(trace));
+            Self::replay_observed(catalog, population, workload, cfg, rngs, registry, observers);
         (report, lifecycle.expect("tracing was requested"))
     }
 
-    fn replay_inner(
+    /// Run the full replay with an explicit [`Observers`] bundle: any
+    /// combination of lifecycle tracing, virtual-time series recording,
+    /// and wall profiling. The deterministic outputs (week report,
+    /// metric snapshot, series, lifecycle) are byte-identical to an
+    /// unobserved same-seed replay; only the wall section differs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_observed(
         catalog: &Catalog,
         population: &Population,
         workload: &Workload,
         cfg: CloudConfig,
         rngs: &RngFactory,
         registry: &Registry,
-        trace: Option<&TraceConfig>,
+        observers: Observers<'_>,
     ) -> (WeekReport, Option<LifecycleReport>) {
         let scheduler = cfg.scheduler;
         let mut world = XuanfengCloud::new(cfg, catalog, population, workload, rngs);
         world.metrics = CloudMetrics::new(registry);
         world.backend.rebind_metrics(registry);
         world.pool.rebind(registry);
-        world.lifecycle = trace.map(Lifecycle::new);
+        world.lifecycle = observers.trace.map(Lifecycle::new);
         let flight = world.lifecycle.as_ref().map(|lifecycle| lifecycle.flight.clone());
+        if let Some(series) = &observers.series {
+            register_cloud_series(series, registry);
+        }
         // Arrivals stream in chunk by chunk, so the queue only ever holds
         // one chunk plus in-flight follow-ups — not the whole week. The
         // slab still grows on demand if follow-ups pile past the chunk.
@@ -573,13 +666,20 @@ impl<'a> XuanfengCloud<'a> {
         if let Some(flight) = flight {
             sim.attach_flight_recorder(flight);
         }
+        if let Some(series) = &observers.series {
+            sim.attach_series(series.clone());
+        }
+        if observers.profile {
+            sim.attach_profiler();
+        }
         // Arrivals keep seqs 0..N; follow-ups scheduled by handlers draw
         // from N up, exactly as if every arrival were scheduled up front.
         sim.reserve_seqs(workload.len() as u64);
         let mut arrivals = ArrivalChunks { requests: workload.requests(), next: 0 };
         sim.run_streamed(&mut arrivals);
+        let final_now_ms = sim.now().as_millis();
         let mut world = sim.into_world();
-        world.metrics.flush(&world.hot);
+        world.metrics.drain(&mut world.hot);
         let lifecycle = world.lifecycle.take().map(|lifecycle| lifecycle.report());
         world.pool.finish(registry);
         let report = world.into_report();
@@ -587,6 +687,11 @@ impl<'a> XuanfengCloud<'a> {
         registry.gauge("cloud.failure_ratio").set(report.failure_ratio());
         registry.gauge("cloud.rejection_ratio").set(report.rejection_ratio());
         registry.gauge("cloud.impeded_ratio").set(report.impeded_ratio());
+        // The final sample lands after every drain and gauge write, so
+        // each series ends exactly at its end-of-run snapshot value.
+        if let Some(series) = &observers.series {
+            series.finish(final_now_ms);
+        }
         (report, lifecycle)
     }
 
@@ -735,6 +840,22 @@ impl World for XuanfengCloud<'_> {
             Ev::FetchBegin { .. } => "fetch_begin",
             Ev::FetchEnd { .. } => "fetch_end",
         }
+    }
+
+    /// Make every sampled metric current at a series grid point: drain
+    /// the hot-path batch into the registry (exact and idempotent — the
+    /// batch empties, so the end-of-run drain only adds the tail) and
+    /// refresh the headline ratio gauges with the same formulas the
+    /// final [`WeekReport`] uses, so mid-run samples show the ratios
+    /// evolving and the final sample matches the report exactly.
+    fn pre_sample(&mut self, _at_ms: u64) {
+        self.metrics.drain(&mut self.hot);
+        let requests = self.counters.requests.max(1) as f64;
+        let attempts = self.fetches.len().max(1) as f64;
+        self.metrics.hit_ratio.set(self.counters.cache_hits as f64 / requests);
+        self.metrics.failure_ratio.set(self.counters.predownload_failures as f64 / requests);
+        self.metrics.rejection_ratio.set(self.counters.rejected_fetches as f64 / attempts);
+        self.metrics.impeded_ratio.set(self.counters.impeded_fetches as f64 / attempts);
     }
 
     fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {

@@ -60,6 +60,15 @@ pub struct SimSpec {
     pub scheduler: String,
 }
 
+/// Observability-layer knobs (the virtual-time series recorder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySpec {
+    /// Virtual seconds between metric-series samples, `> 0`. The default
+    /// (one sim-hour) matches the diurnal granularity of the paper's
+    /// figures; `--set telemetry.series_interval_s=60` zooms in.
+    pub series_interval_s: f64,
+}
+
 /// One AP of the benchmark fleet, by hardware names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApSpec {
@@ -103,6 +112,8 @@ pub struct ScenarioSpec {
     pub ap_fleet: Vec<ApSpec>,
     /// Engine-layer knobs.
     pub sim: SimSpec,
+    /// Observability knobs (series sampling cadence).
+    pub telemetry: TelemetrySpec,
     /// Sweep axes: dotted path → the values the grid takes on that axis.
     pub axes: BTreeMap<String, Vec<Json>>,
 }
@@ -135,6 +146,7 @@ pub const KNOWN_PATHS: &[&str] = &[
     "ap_fleet.2.device",
     "ap_fleet.2.fs",
     "sim.scheduler",
+    "telemetry.series_interval_s",
 ];
 
 /// The paths that may serve as sweep axes (everything settable except the
@@ -170,6 +182,7 @@ impl ScenarioSpec {
                 ApSpec::new("newifi", "usb-flash", "ntfs"),
             ],
             sim: SimSpec { scheduler: "heap".into() },
+            telemetry: TelemetrySpec { series_interval_s: 3600.0 },
             axes: BTreeMap::new(),
         }
     }
@@ -202,6 +215,9 @@ impl ScenarioSpec {
                 }
             }
             "sim.scheduler" => self.sim.scheduler = str_at(path, value)?,
+            "telemetry.series_interval_s" => {
+                self.telemetry.series_interval_s = num_at(path, value)?
+            }
             _ => {
                 if let Some(rest) = path.strip_prefix("ap_fleet.") {
                     return self.set_fleet_path(path, rest, value);
@@ -251,7 +267,7 @@ impl ScenarioSpec {
                 "base" => {
                     str_at("base", value)?;
                 }
-                "backend" | "cache" | "sim" => {
+                "backend" | "cache" | "sim" | "telemetry" => {
                     let Json::Obj(nested) = value else {
                         return Err(ConfigError::at(key, "expected a JSON object"));
                     };
@@ -306,6 +322,7 @@ impl ScenarioSpec {
         check_positive("backend.line_payload_kbps", b.line_payload_kbps)?;
         check_positive("cache_capacity_factor", self.cache_capacity_factor)?;
         check_positive("demand_factor", self.demand_factor)?;
+        check_positive("telemetry.series_interval_s", self.telemetry.series_interval_s)?;
         if self.cache.shards == 0 {
             return Err(ConfigError::at("cache.shards", "must be >= 1 (got 0)"));
         }
@@ -428,6 +445,10 @@ impl ScenarioSpec {
             ("cernet_share", self.cernet_share.map(Json::Num).unwrap_or(Json::Null)),
             ("ap_fleet", Json::Arr(fleet)),
             ("sim", Json::obj([("scheduler", Json::Str(self.sim.scheduler.clone()))])),
+            (
+                "telemetry",
+                Json::obj([("series_interval_s", Json::Num(self.telemetry.series_interval_s))]),
+            ),
             ("axes", Json::Obj(axes)),
         ])
     }
@@ -593,6 +614,8 @@ mod tests {
             ("cache_capacity_factor", -1.0),
             ("backend.retry_decay", 0.0),
             ("backend.dynamics_probability", 1.2),
+            ("telemetry.series_interval_s", 0.0),
+            ("telemetry.series_interval_s", -60.0),
         ] {
             let mut spec = baseline();
             spec.set_path(path, &Json::Num(value)).unwrap();

@@ -17,7 +17,10 @@ use odx_backend::{
 use odx_net::HD_THRESHOLD_KBPS;
 use odx_sim::{RngFactory, SimDuration};
 use odx_stats::Ecdf;
-use odx_telemetry::{Lifecycle, LifecycleReport, Stage, TaskEnd, TraceConfig};
+use odx_telemetry::{
+    Lifecycle, LifecycleReport, Registry, SeriesRecorder, SeriesSnapshot, Stage, TaskEnd,
+    TraceConfig,
+};
 use odx_trace::{PopularityClass, SampledRequest};
 use serde::Serialize;
 
@@ -180,7 +183,24 @@ impl OdrReplay {
     /// the replay's fleet (the §6.2 environment uses the three benchmark
     /// boxes).
     pub fn run(&self, sample: &[SampledRequest], rngs: &RngFactory) -> OdrEvalReport {
-        self.run_inner(sample, rngs, None).0
+        self.run_inner(sample, rngs, None, odx_telemetry::global(), None).0
+    }
+
+    /// Replay `sample` while recording a virtual-time metric series
+    /// (`odr.tasks`, `odr.failures`, and the per-proxy `odr.decision.*`
+    /// counters) at `interval_ms` on the replay's sequential virtual
+    /// clock. Counters land in `registry` (not the process-global one),
+    /// and the finished snapshot's last sample equals their final values.
+    pub fn run_series(
+        &self,
+        sample: &[SampledRequest],
+        rngs: &RngFactory,
+        registry: &Registry,
+        interval_ms: u64,
+    ) -> (OdrEvalReport, SeriesSnapshot) {
+        let recorder = SeriesRecorder::new(interval_ms);
+        let (report, _) = self.run_inner(sample, rngs, None, registry, Some(&recorder));
+        (report, recorder.snapshot())
     }
 
     /// Replay `sample` with per-task lifecycle tracing: each task records
@@ -193,7 +213,13 @@ impl OdrReplay {
         rngs: &RngFactory,
         trace: &TraceConfig,
     ) -> (OdrEvalReport, LifecycleReport) {
-        let (report, lifecycle) = self.run_inner(sample, rngs, Some(Lifecycle::new(trace)));
+        let (report, lifecycle) = self.run_inner(
+            sample,
+            rngs,
+            Some(Lifecycle::new(trace)),
+            odx_telemetry::global(),
+            None,
+        );
         (report, lifecycle.expect("tracing was requested"))
     }
 
@@ -202,6 +228,8 @@ impl OdrReplay {
         sample: &[SampledRequest],
         rngs: &RngFactory,
         lifecycle: Option<Lifecycle>,
+        registry: &Registry,
+        series: Option<&SeriesRecorder>,
     ) -> (OdrEvalReport, Option<LifecycleReport>) {
         // Per-file cloud state shared across the replay — the collaborative
         // cache and retry history every cloud-side backend reads and writes.
@@ -218,7 +246,6 @@ impl OdrReplay {
 
         // Per-proxy decision and bottleneck-detector counters, with
         // handles resolved once per replay rather than once per task.
-        let registry = odx_telemetry::global();
         let tasks_counter = registry.counter("odr.tasks");
         let failures_counter = registry.counter("odr.failures");
         let decision_counters: Vec<(Decision, odx_telemetry::Counter)> = [
@@ -237,10 +264,27 @@ impl OdrReplay {
                 .map(|b| (b, registry.counter(&format!("odr.bottleneck.{}", b.key()))))
                 .collect();
 
+        if let Some(series) = series {
+            for name in ["odr.tasks", "odr.failures"] {
+                series.track_counter(name, registry.counter(name));
+            }
+            for (d, _) in &decision_counters {
+                let name = format!("odr.decision.{d}");
+                series.track_counter(&name, registry.counter(&name));
+            }
+        }
+
         // The evaluation replays its sample sequentially; the traced
         // variant lays tasks end to end on one virtual clock.
         let mut clock = SimDuration::ZERO;
         for (i, req) in sample.iter().enumerate() {
+            // Same grid discipline as the engine: every grid point the
+            // clock has passed is sampled before this task's counters.
+            if let Some(series) = series {
+                while series.next_due_ms() < clock.as_millis() {
+                    series.sample_due();
+                }
+            }
             let mut rng = rngs.stream_indexed("odr-task", i as u64);
             let ap = self.fleet[i % self.fleet.len()];
             let is_cached = cloud_state.warm_cached(
@@ -319,6 +363,10 @@ impl OdrReplay {
                 storage_limited: out.storage_limited,
                 b4_at_risk: crate::Bottleneck::b4_at_risk(&odr_req),
             });
+        }
+
+        if let Some(series) = series {
+            series.finish(clock.as_millis());
         }
 
         // Baselines over the identical sample (and the identical fleet).
@@ -408,6 +456,51 @@ mod tests {
         let r = eval(6000, 166);
         let counts = r.decision_counts();
         assert!(counts.len() >= 4, "decision mix: {counts:?}");
+    }
+
+    #[test]
+    fn series_replay_tracks_tasks_and_decisions_deterministically() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(167);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let sample = sample_eval_workload(&workload, &catalog, &population, 400, &mut rng);
+        let run = || {
+            let registry = Registry::new();
+            let (report, series) = OdrReplay::default().run_series(
+                &sample,
+                &RngFactory::new(167),
+                &registry,
+                3_600_000,
+            );
+            (report, series, registry.snapshot())
+        };
+        let (report, series, snapshot) = run();
+        assert!(series.times.len() > 1, "a 400-task replay spans multiple sim-hours");
+        let last = |name: &str| series.series[name].final_value().unwrap() as u64;
+        assert_eq!(last("odr.tasks"), 400);
+        assert_eq!(snapshot.counters["odr.tasks"], 400);
+        assert_eq!(
+            last("odr.failures"),
+            report.tasks().iter().filter(|t| !t.success).count() as u64
+        );
+        // Decision counters in the series sum to the report's counts.
+        let counts = report.decision_counts();
+        let decided: u64 = counts.values().map(|&n| n as u64).sum();
+        let tracked: u64 = series
+            .series
+            .iter()
+            .filter(|(name, _)| name.starts_with("odr.decision."))
+            .map(|(_, s)| s.final_value().unwrap() as u64)
+            .sum();
+        assert_eq!(tracked, decided);
+        // Same inputs → byte-identical series; report matches the plain run.
+        let (report2, series2, _) = run();
+        assert_eq!(series.to_json(), series2.to_json());
+        assert_eq!(report.impeded_ratio(), report2.impeded_ratio());
+        let plain = OdrReplay::default().run(&sample, &RngFactory::new(167));
+        assert_eq!(plain.impeded_ratio(), report.impeded_ratio());
     }
 
     #[test]

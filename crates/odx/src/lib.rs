@@ -41,10 +41,10 @@ pub use odx_telemetry as telemetry;
 pub use odx_trace as trace;
 
 use odx_backend::{ApBenchReport, Scenario, ScenarioRegistry, SmartApBenchmark};
-use odx_cloud::{CloudConfig, WeekReport, XuanfengCloud};
+use odx_cloud::{CloudConfig, Observers, WeekReport, XuanfengCloud};
 use odx_odr::replay::{OdrEvalReport, OdrReplay};
 use odx_sim::RngFactory;
-use odx_telemetry::{LifecycleReport, Registry, TraceConfig};
+use odx_telemetry::{LifecycleReport, Registry, SeriesRecorder, SeriesSnapshot, TraceConfig};
 use odx_trace::{
     sample_benchmark_workload, sample_eval_workload, Catalog, CatalogConfig, Population,
     PopulationConfig, SampledRequest, Workload, WorkloadConfig,
@@ -124,7 +124,7 @@ impl Study {
         registry: &Registry,
         trace: &TraceConfig,
     ) -> (WeekReport, LifecycleReport) {
-        XuanfengCloud::replay_traced(
+        let (report, mut lifecycle) = XuanfengCloud::replay_traced(
             &self.catalog,
             &self.population,
             &self.workload,
@@ -132,7 +132,58 @@ impl Study {
             &self.rngs,
             registry,
             trace,
-        )
+        );
+        lifecycle.set_context(scenario.scheduler.name(), &scenario.name);
+        (report, lifecycle)
+    }
+
+    /// Replay the week under a scenario with an explicit observer bundle
+    /// (lifecycle tracing, series recording, wall profiling — see
+    /// [`Observers`]). Lifecycle reports come back stamped with the
+    /// scenario's scheduler and name.
+    pub fn replay_cloud_observed(
+        &self,
+        scenario: &Scenario,
+        registry: &Registry,
+        observers: Observers<'_>,
+    ) -> (WeekReport, Option<LifecycleReport>) {
+        let (report, mut lifecycle) = XuanfengCloud::replay_observed(
+            &self.catalog,
+            &self.population,
+            &self.workload,
+            self.scenario_cloud_config(scenario),
+            &self.rngs,
+            registry,
+            observers,
+        );
+        if let Some(lifecycle) = &mut lifecycle {
+            lifecycle.set_context(scenario.scheduler.name(), &scenario.name);
+        }
+        (report, lifecycle)
+    }
+
+    /// Replay the week under a scenario while recording the virtual-time
+    /// metric series at the scenario's cadence
+    /// (`telemetry.series_interval_s`, default one sim-hour). The
+    /// returned snapshot's last sample equals the end-of-run metric
+    /// state, and its bytes are independent of scheduler and job count.
+    pub fn replay_cloud_series(
+        &self,
+        scenario: &Scenario,
+        registry: &Registry,
+    ) -> (WeekReport, SeriesSnapshot) {
+        let series = SeriesRecorder::new(scenario.series_interval_ms());
+        let observers = Observers { series: Some(series.clone()), ..Observers::default() };
+        let (report, _) = self.replay_cloud_observed(scenario, registry, observers);
+        (report, series.snapshot())
+    }
+
+    /// Replay the week under a scenario with the per-handler wall
+    /// profiler attached; the measured breakdown lands in `registry`'s
+    /// wall section (`prof.*`) for [`odx_telemetry::rows_from_walls`].
+    pub fn replay_cloud_profiled(&self, scenario: &Scenario, registry: &Registry) -> WeekReport {
+        let observers = Observers { profile: true, ..Observers::default() };
+        self.replay_cloud_observed(scenario, registry, observers).0
     }
 
     /// Run the §5.1 benchmark under a scenario with lifecycle tracing.
@@ -189,6 +240,39 @@ impl Study {
             &self.benchmark_sample(n),
             &scenario.ap_fleet,
             &self.rngs.child("smartap"),
+        )
+    }
+
+    /// Run the §5.1 benchmark under a scenario while recording the
+    /// `ap.*` virtual-time series at the scenario's cadence.
+    pub fn replay_smart_aps_series(
+        &self,
+        n: usize,
+        scenario: &Scenario,
+        registry: &Registry,
+    ) -> (ApBenchReport, SeriesSnapshot) {
+        SmartApBenchmark::replay_fleet_series(
+            &self.benchmark_sample(n),
+            &scenario.ap_fleet,
+            &self.rngs.child("smartap"),
+            registry,
+            scenario.series_interval_ms(),
+        )
+    }
+
+    /// Run the §6.2 evaluation under a scenario while recording the
+    /// `odr.*` virtual-time series at the scenario's cadence.
+    pub fn replay_odr_series(
+        &self,
+        n: usize,
+        scenario: &Scenario,
+        registry: &Registry,
+    ) -> (OdrEvalReport, SeriesSnapshot) {
+        OdrReplay::for_scenario(scenario).run_series(
+            &self.eval_sample(n),
+            &self.rngs.child("odr"),
+            registry,
+            scenario.series_interval_ms(),
         )
     }
 

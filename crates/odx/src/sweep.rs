@@ -20,14 +20,16 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use odx_backend::Scenario;
 use odx_cache::PolicyKind;
-use odx_cloud::XuanfengCloud;
-use odx_telemetry::{Attribution, Registry, TraceConfig};
+use odx_cloud::{Observers, XuanfengCloud};
+use odx_telemetry::{
+    Attribution, Registry, SeriesRecorder, SeriesSet, SeriesSnapshot, TraceConfig,
+};
 
 use crate::Study;
 
@@ -47,6 +49,16 @@ pub struct SweepSpec {
     /// default for sweeps). When set, each cell computes a latency
     /// [`Attribution`] that merges across shards.
     pub trace: Option<TraceConfig>,
+    /// Virtual-time series recording for every cell (`None` = off): the
+    /// sampling interval in engine milliseconds. When set, each cell
+    /// records a [`SeriesSnapshot`] and the merged [`SweepReport::series`]
+    /// is byte-identical for any worker count.
+    pub series_interval_ms: Option<u64>,
+    /// Live shard progress on **stderr** (shards done, cumulative
+    /// events/sec, ETA). Stdout and every deterministic export are
+    /// unaffected, so `repro sweep --progress ... > out.json` stays
+    /// byte-identical to a silent run.
+    pub progress: bool,
 }
 
 impl SweepSpec {
@@ -98,41 +110,34 @@ pub struct SweepCell {
     pub wall_secs: f64,
     /// The shard's latency attribution when the sweep traced lifecycles.
     pub attribution: Option<Attribution>,
+    /// The shard's virtual-time metric series when the sweep recorded
+    /// one. Deterministic, but kept out of the golden-pinned
+    /// [`SweepReport::to_json`] / [`SweepReport::to_csv`] formats — it
+    /// exports through [`SweepReport::series`] instead.
+    pub series: Option<SeriesSnapshot>,
 }
 
 impl SweepCell {
     /// Run one shard: generate the study and replay the cloud week with a
     /// private registry, entirely independent of every other shard.
-    fn run(scenario: &Scenario, seed: u64, scale: f64, trace: Option<&TraceConfig>) -> SweepCell {
+    fn run(scenario: &Scenario, seed: u64, spec: &SweepSpec) -> SweepCell {
         let start = Instant::now();
         let registry = Registry::new();
-        let study = Study::generate_scenario(scale, seed, scenario);
+        let study = Study::generate_scenario(spec.scale, seed, scenario);
         let cfg = study.scenario_cloud_config(scenario);
-        let (report, attribution) = match trace {
-            None => (
-                XuanfengCloud::replay_with_registry(
-                    &study.catalog,
-                    &study.population,
-                    &study.workload,
-                    cfg,
-                    &study.rngs,
-                    &registry,
-                ),
-                None,
-            ),
-            Some(trace) => {
-                let (report, lifecycle) = XuanfengCloud::replay_traced(
-                    &study.catalog,
-                    &study.population,
-                    &study.workload,
-                    cfg,
-                    &study.rngs,
-                    &registry,
-                    trace,
-                );
-                (report, Some(lifecycle.attribution()))
-            }
-        };
+        let series = spec.series_interval_ms.map(SeriesRecorder::new);
+        let observers =
+            Observers { trace: spec.trace.as_ref(), series: series.clone(), profile: false };
+        let (report, lifecycle) = XuanfengCloud::replay_observed(
+            &study.catalog,
+            &study.population,
+            &study.workload,
+            cfg,
+            &study.rngs,
+            &registry,
+            observers,
+        );
+        let attribution = lifecycle.map(|lifecycle| lifecycle.attribution());
         let sim_events = registry.snapshot().counters.get("sim.events").copied().unwrap_or(0);
         SweepCell {
             scenario: scenario.name.clone(),
@@ -150,7 +155,47 @@ impl SweepCell {
             sim_events,
             wall_secs: start.elapsed().as_secs_f64(),
             attribution,
+            series: series.map(|s| s.snapshot()),
         }
+    }
+}
+
+/// Live sweep progress, shared by the workers: shards done, cumulative
+/// engine events, and a linear ETA. Reports on **stderr only** so piped
+/// stdout exports stay byte-identical whether or not it is enabled.
+struct Progress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    events: AtomicU64,
+    start: Instant,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: usize) -> Progress {
+        Progress {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            events: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    /// Report one finished shard (thread-safe, lock-free).
+    fn note(&self, cell: &SweepCell) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let events = self.events.fetch_add(cell.sim_events, Ordering::Relaxed) + cell.sim_events;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = events as f64 / elapsed.max(1e-9);
+        let eta = elapsed / done as f64 * (self.total - done) as f64;
+        eprintln!(
+            "sweep: {done}/{} shards | {}/{} | {events} events | {:.0} ev/s | eta {eta:.1}s",
+            self.total, cell.scenario, cell.seed, rate,
+        );
     }
 }
 
@@ -188,6 +233,24 @@ impl SweepReport {
             merged.get_or_insert_with(Attribution::default).merge(attribution);
         }
         merged
+    }
+
+    /// The merged virtual-time series across cells, exact-keyed by
+    /// `(scenario, seed)` — byte-identical for any worker count because
+    /// each cell's series depends only on its own inputs. `None` when the
+    /// sweep recorded no series. Exported as separate documents
+    /// ([`SeriesSet::to_json`] / [`SeriesSet::to_csv`]) so the
+    /// golden-pinned sweep formats stay untouched.
+    pub fn series(&self) -> Option<SeriesSet> {
+        let mut set = SeriesSet::new();
+        let mut any = false;
+        for cell in &self.cells {
+            if let Some(snapshot) = &cell.series {
+                set.insert(&cell.scenario, cell.seed, snapshot.clone());
+                any = true;
+            }
+        }
+        any.then_some(set)
     }
 
     /// Propagate per-shard perf into `registry`'s wall section (satellite
@@ -280,14 +343,15 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
     let start = Instant::now();
     let cells = spec.cells();
     let jobs = spec.jobs.clamp(1, cells.len().max(1));
+    let progress = Progress::new(spec.progress, cells.len());
     let mut results: Vec<Option<SweepCell>> = Vec::with_capacity(cells.len());
     if jobs == 1 {
         // Inline path: same per-cell code, no threads to reason about.
-        results.extend(
-            cells
-                .iter()
-                .map(|(s, seed)| Some(SweepCell::run(s, *seed, spec.scale, spec.trace.as_ref()))),
-        );
+        results.extend(cells.iter().map(|(s, seed)| {
+            let cell = SweepCell::run(s, *seed, spec);
+            progress.note(&cell);
+            Some(cell)
+        }));
     } else {
         let slots: Vec<Mutex<Option<SweepCell>>> = cells.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -296,7 +360,8 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepReport {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some((scenario, seed)) = cells.get(i) else { break };
-                    let cell = SweepCell::run(scenario, *seed, spec.scale, spec.trace.as_ref());
+                    let cell = SweepCell::run(scenario, *seed, spec);
+                    progress.note(&cell);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(cell);
                 });
             }
@@ -351,6 +416,8 @@ mod tests {
             scale: 0.0005,
             jobs,
             trace: None,
+            series_interval_ms: None,
+            progress: false,
         }
     }
 
@@ -404,6 +471,32 @@ mod tests {
         assert!(seq_attr.total_stage_ms() > 0);
         // Untraced sweeps report no attribution at all.
         assert!(run_sweep(&tiny_spec(1)).attribution().is_none());
+    }
+
+    #[test]
+    fn series_merge_is_byte_identical_across_worker_counts_and_schedulers() {
+        use odx_sim::SchedulerKind;
+        // Six-sim-hour cadence keeps the series small at this scale.
+        let mut spec = tiny_spec(1);
+        spec.series_interval_ms = Some(6 * 3_600_000);
+        let sequential = run_sweep(&spec);
+        spec.jobs = 3;
+        let parallel = run_sweep(&spec);
+        let seq = sequential.series().expect("series were recorded");
+        let par = parallel.series().expect("series were recorded");
+        assert_eq!(seq.to_json(), par.to_json(), "series JSON must be jobs-invariant");
+        assert_eq!(seq.to_csv(), par.to_csv(), "series CSV must be jobs-invariant");
+        // Swapping the future-event list never changes a single byte.
+        for s in &mut spec.scenarios {
+            s.scheduler = SchedulerKind::Wheel;
+        }
+        let wheel = run_sweep(&spec).series().expect("series were recorded");
+        assert_eq!(seq.to_json(), wheel.to_json(), "scheduler must not leak into the series");
+        // The golden-pinned sweep exports are untouched by recording.
+        let silent = run_sweep(&tiny_spec(2));
+        assert_eq!(sequential.to_json(), silent.to_json());
+        assert_eq!(sequential.to_csv(), silent.to_csv());
+        assert!(silent.series().is_none(), "no recording → no series document");
     }
 
     #[test]

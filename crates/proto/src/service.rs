@@ -3,7 +3,9 @@
 //! Endpoints:
 //!
 //! * `GET /healthz` — liveness.
-//! * `GET /metrics` — JSON snapshot of the process-wide telemetry registry.
+//! * `GET /metrics` — JSON snapshot of the process-wide telemetry registry;
+//!   `GET /metrics?series=1` serves the published virtual-time series
+//!   document instead (what `repro series` records).
 //! * `GET /popularity/<file-id-hex>` — the content-DB lookup ODR performs.
 //! * `POST /decide` — submit a link + user context, receive a verdict.
 //!
@@ -104,7 +106,17 @@ impl OdrService {
                 Response::json(Json::obj([("status", Json::Str("ok".into()))]).to_string_compact())
             }
             (Method::Get, "/metrics") => {
-                Response::json(odx_telemetry::global().snapshot().to_json())
+                // `?series=1` serves the most recently published
+                // virtual-time series document instead of the snapshot
+                // (404 until a run publishes one — `repro series` does).
+                if req.query().split('&').any(|kv| kv == "series=1") {
+                    match odx_telemetry::published_series() {
+                        Some(json) => Response::json(json),
+                        None => Response::error(404, "no series published"),
+                    }
+                } else {
+                    Response::json(odx_telemetry::global().snapshot().to_json())
+                }
             }
             (Method::Get, path) if path.starts_with("/popularity/") => {
                 let id = path.trim_start_matches("/popularity/");
@@ -260,6 +272,31 @@ mod tests {
         assert!(matches!(parsed, Json::Obj(_)));
         assert!(body.contains("proto.test.sentinel"));
         assert!(body.contains("proto.requests"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_series_variant_serves_the_published_document() {
+        let svc = service_with_file(PopularityClass::Popular, true);
+        let server = svc.serve("127.0.0.1:0", 2).unwrap();
+        // This test is the process's only publisher, so before it
+        // publishes the variant must 404 (the plain snapshot never does).
+        let missing = client::get(server.addr(), "/metrics?series=1").unwrap();
+        assert_eq!(missing.status, 404);
+        let doc = r#"{"cells":[{"scenario":"proto-test","seed":7,"series":{"interval_ms":3600000,"times":[3600000],"series":{}}}]}"#;
+        odx_telemetry::publish_series(doc.to_string());
+        let requests_before = odx_telemetry::global().counter("proto.requests").get();
+        let resp = client::get(server.addr(), "/metrics?series=1").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(std::str::from_utf8(&resp.body).unwrap(), doc, "published bytes verbatim");
+        // The flag only swaps the document; the plain snapshot endpoint
+        // still serves the registry, which carries the request counter
+        // the series requests themselves bumped.
+        let plain = client::get(server.addr(), "/metrics").unwrap();
+        assert!(String::from_utf8_lossy(&plain.body).contains("proto.requests"));
+        let after = odx_telemetry::global().counter("proto.requests").get();
+        // ≥: other tests in this binary route requests concurrently.
+        assert!(after >= requests_before + 2, "series + plain both counted: {after}");
         server.shutdown();
     }
 

@@ -2,10 +2,12 @@
 //! world, and dispatches events to the world until the queue drains or a
 //! horizon is reached.
 
+use std::time::Instant;
+
 use crate::event::EventId;
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::{Scheduler, SchedulerKind};
-use odx_telemetry::{Counter, FlightRecorder, Gauge, Registry};
+use odx_telemetry::{Counter, FlightRecorder, Gauge, HandlerProfiler, Registry, SeriesRecorder};
 
 /// Cached metric handles for an instrumented [`Simulation`].
 struct SimTelemetry {
@@ -40,6 +42,14 @@ pub trait World {
     fn event_label(&self, _event: &Self::Event) -> &'static str {
         "event"
     }
+
+    /// Called by the engine at virtual time `at_ms` immediately before an
+    /// attached [`SeriesRecorder`] takes a grid sample, and only then.
+    /// Worlds that batch metric updates in plain local fields (the
+    /// `HotMetrics` discipline) override this to drain them into the
+    /// registry so sampled counters are current mid-run. The default
+    /// no-op keeps unsampled worlds zero-cost.
+    fn pre_sample(&mut self, _at_ms: u64) {}
 }
 
 /// Scheduling context handed to event handlers: the current time plus the
@@ -91,14 +101,25 @@ pub trait ArrivalSource<E> {
     fn inject(&mut self, sched: &mut Scheduler<E>);
 }
 
+/// An attached series recorder plus its cached next-due time, so the hot
+/// loop's due check is one comparison instead of a mutex round-trip.
+struct SeriesState {
+    recorder: SeriesRecorder,
+    next_due_ms: u64,
+}
+
 /// The top-level driver combining a [`World`], a [`Scheduler`] and a clock.
 pub struct Simulation<W: World> {
     world: W,
     queue: Scheduler<W::Event>,
     now: SimTime,
     processed: u64,
+    /// Events already flushed into `sim.events` (batched-flush cursor).
+    flushed: u64,
     telemetry: Option<SimTelemetry>,
     flight: Option<FlightRecorder>,
+    series: Option<SeriesState>,
+    prof: Option<HandlerProfiler>,
 }
 
 impl<W: World> Simulation<W> {
@@ -125,8 +146,11 @@ impl<W: World> Simulation<W> {
             queue: Scheduler::with_capacity(kind, capacity),
             now: SimTime::ZERO,
             processed: 0,
+            flushed: 0,
             telemetry: None,
             flight: None,
+            series: None,
+            prof: None,
         }
     }
 
@@ -144,6 +168,33 @@ impl<W: World> Simulation<W> {
     /// nothing when not attached (the hot loop checks one `Option`).
     pub fn attach_flight_recorder(&mut self, flight: FlightRecorder) {
         self.flight = Some(flight);
+    }
+
+    /// Attach a virtual-time series recorder. Before dispatching an event
+    /// at time `t`, the run loops take one sample per due grid point
+    /// strictly before `t`: engine tallies flush, [`World::pre_sample`]
+    /// drains world-local batches, then the recorder reads every tracked
+    /// metric. Sample values therefore depend only on the deterministic
+    /// event order — never on wall time, worker count, or scheduler kind.
+    /// The caller still owns `finish`: call
+    /// [`SeriesRecorder::finish`] at the end-of-run clock after final
+    /// flushes so the last sample equals the end-of-run snapshot.
+    pub fn attach_series(&mut self, recorder: SeriesRecorder) {
+        let next_due_ms = recorder.next_due_ms();
+        self.series = Some(SeriesState { recorder, next_due_ms });
+    }
+
+    /// Attach an in-process wall profiler: every pop and handler dispatch
+    /// is timed with `Instant` into per-event-kind buckets (plain local
+    /// adds, flushed to the registry's wall section once per run). The
+    /// disabled path costs one `Option` check per event.
+    pub fn attach_profiler(&mut self) {
+        self.prof = Some(HandlerProfiler::new());
+    }
+
+    /// The attached profiler's buckets, if profiling is on.
+    pub fn profiler(&self) -> Option<&HandlerProfiler> {
+        self.prof.as_ref()
     }
 
     /// The current simulation time.
@@ -199,9 +250,10 @@ impl<W: World> Simulation<W> {
         let fired = self.step_quiet();
         if fired {
             if let Some(telemetry) = &self.telemetry {
-                telemetry.events.inc();
+                telemetry.events.add(self.processed - self.flushed);
                 telemetry.queue_depth.set(self.queue.len() as f64);
             }
+            self.flushed = self.processed;
         }
         fired
     }
@@ -214,6 +266,9 @@ impl<W: World> Simulation<W> {
     ///
     /// [`step`]: Simulation::step
     fn step_quiet(&mut self) -> bool {
+        if self.prof.is_some() {
+            return self.step_profiled();
+        }
         match self.queue.pop() {
             Some((time, event)) => {
                 debug_assert!(time >= self.now, "event queue must be monotone");
@@ -230,17 +285,78 @@ impl<W: World> Simulation<W> {
         }
     }
 
-    /// Batch-apply the telemetry updates `fired` calls to [`step`] would
-    /// have made (no-op when nothing fired, so an idle run leaves the
-    /// gauge untouched exactly like the per-event path).
+    /// [`step_quiet`] with the attached profiler timing the pop and the
+    /// handler dispatch (three `Instant::now` reads per event; buckets
+    /// are plain local adds, flushed to the wall section per run).
+    ///
+    /// [`step_quiet`]: Simulation::step_quiet
+    fn step_profiled(&mut self) -> bool {
+        let before_pop = Instant::now();
+        let popped = self.queue.pop();
+        let after_pop = Instant::now();
+        let prof = self.prof.as_mut().expect("step_profiled requires a profiler");
+        prof.note_pop((after_pop - before_pop).as_secs_f64());
+        match popped {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now, "event queue must be monotone");
+                self.now = time;
+                let label = self.world.event_label(&event);
+                if let Some(flight) = &self.flight {
+                    flight.record(time.as_millis(), label);
+                }
+                let mut ctx = Ctx { now: self.now, queue: &mut self.queue };
+                self.world.handle(&mut ctx, event);
+                self.processed += 1;
+                let after_handle = Instant::now();
+                self.prof
+                    .as_mut()
+                    .expect("step_profiled requires a profiler")
+                    .note_handler(label, (after_handle - after_pop).as_secs_f64());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Take one series sample per due grid point strictly before
+    /// `next_ms` (the next event's virtual time): flush the engine's
+    /// batched tallies, let the world drain its own
+    /// ([`World::pre_sample`]), then read every tracked metric.
+    fn sample_due_before(&mut self, next_ms: u64) {
+        loop {
+            let due = match &self.series {
+                Some(series) if series.next_due_ms < next_ms => series.next_due_ms,
+                _ => return,
+            };
+            if let Some(telemetry) = &self.telemetry {
+                if self.processed > self.flushed {
+                    telemetry.events.add(self.processed - self.flushed);
+                }
+                telemetry.queue_depth.set(self.queue.len() as f64);
+                self.flushed = self.processed;
+            }
+            self.world.pre_sample(due);
+            let series = self.series.as_mut().expect("series checked above");
+            series.next_due_ms = series.recorder.sample_due();
+        }
+    }
+
+    /// Batch-apply the telemetry updates the quiet steps since the last
+    /// flush would have made via [`step`] (no-op when nothing fired, so
+    /// an idle run leaves the gauge untouched exactly like the per-event
+    /// path).
     ///
     /// [`step`]: Simulation::step
-    fn flush_run_telemetry(&mut self, fired: u64) {
-        if fired > 0 {
+    fn flush_run_telemetry(&mut self) {
+        if self.processed > self.flushed {
             if let Some(telemetry) = &self.telemetry {
-                telemetry.events.add(fired);
+                telemetry.events.add(self.processed - self.flushed);
                 telemetry.queue_depth.set(self.queue.len() as f64);
             }
+            self.flushed = self.processed;
+        }
+        if let (Some(prof), Some(telemetry)) = (&self.prof, &self.telemetry) {
+            prof.flush_walls(&telemetry.registry);
         }
     }
 
@@ -249,6 +365,7 @@ impl<W: World> Simulation<W> {
     /// fired event (or the horizon if nothing fires).
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let before = self.processed;
+        let run_start = self.prof.as_ref().map(|_| Instant::now());
         let span = self
             .telemetry
             .as_ref()
@@ -257,9 +374,15 @@ impl<W: World> Simulation<W> {
             if t > horizon {
                 break;
             }
+            if self.series.is_some() {
+                self.sample_due_before(t.as_millis());
+            }
             self.step_quiet();
         }
-        self.flush_run_telemetry(self.processed - before);
+        if let (Some(start), Some(prof)) = (run_start, &mut self.prof) {
+            prof.note_run(start.elapsed().as_secs_f64());
+        }
+        self.flush_run_telemetry();
         if let (Some(telemetry), Some(span)) = (&self.telemetry, span) {
             telemetry.registry.tracer().close("sim.run", span, self.now.as_millis());
         }
@@ -283,6 +406,7 @@ impl<W: World> Simulation<W> {
     /// [`run_until`]: Simulation::run_until
     pub fn run_streamed(&mut self, src: &mut impl ArrivalSource<W::Event>) -> u64 {
         let before = self.processed;
+        let run_start = self.prof.as_ref().map(|_| Instant::now());
         let span = self
             .telemetry
             .as_ref()
@@ -295,11 +419,21 @@ impl<W: World> Simulation<W> {
                     break;
                 }
             }
+            // Sample after injection settles: remaining chunks start at
+            // or after the head, so every due grid point < head is final.
+            if self.series.is_some() {
+                if let Some(head) = self.queue.peek_time() {
+                    self.sample_due_before(head.as_millis());
+                }
+            }
             if !self.step_quiet() {
                 break;
             }
         }
-        self.flush_run_telemetry(self.processed - before);
+        if let (Some(start), Some(prof)) = (run_start, &mut self.prof) {
+            prof.note_run(start.elapsed().as_secs_f64());
+        }
+        self.flush_run_telemetry();
         if let (Some(telemetry), Some(span)) = (&self.telemetry, span) {
             telemetry.registry.tracer().close("sim.run", span, self.now.as_millis());
         }
@@ -486,6 +620,98 @@ mod tests {
             assert_eq!(snap.trace.events.len(), 2, "{kind}");
             assert_eq!(snap.counters["sim.events"], eager.1, "{kind}");
         }
+    }
+
+    #[test]
+    fn series_samples_on_the_virtual_grid_before_events() {
+        let run = |kind| {
+            let registry = odx_telemetry::Registry::new();
+            let series = odx_telemetry::SeriesRecorder::new(25);
+            series.track_counter("sim.events", registry.counter("sim.events"));
+            series.track_gauge("sim.queue_depth", registry.gauge("sim.queue_depth"));
+            let mut sim = Simulation::with_scheduler(Recorder::default(), kind, 16);
+            sim.attach_telemetry(registry.clone());
+            sim.attach_series(series.clone());
+            for at in [10u64, 30, 60, 100] {
+                sim.schedule_at(SimTime::from_millis(at), Ev::Mark("m"));
+            }
+            sim.run_to_completion();
+            series.finish(sim.now().as_millis());
+            (series.snapshot().to_json(), series.snapshot().to_csv())
+        };
+        let (json, csv) = run(SchedulerKind::Heap);
+        // Grid points 25, 50, 75 are each due strictly before a later
+        // event fires; the final sample lands at the end-of-run clock.
+        assert!(json.contains("\"times\":[25,50,75,100]"), "{json}");
+        // Counter deltas: 1 event (t=10) by t=25, 1 more (t=30) by t=50,
+        // 1 (t=60) by 75, and the final event at t=100 in the last row.
+        assert!(json.contains("\"sim.events\":{\"kind\":\"counter_delta\",\"values\":[1,1,1,1]}"));
+        // Identical bytes on the timing-wheel scheduler.
+        assert_eq!((json, csv), run(SchedulerKind::Wheel));
+    }
+
+    #[test]
+    fn pre_sample_runs_once_per_grid_point_with_due_times() {
+        #[derive(Default)]
+        struct Sampled {
+            inner: Recorder,
+            pre_samples: Vec<u64>,
+        }
+        impl World for Sampled {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+                self.inner.handle(ctx, ev)
+            }
+            fn pre_sample(&mut self, at_ms: u64) {
+                self.pre_samples.push(at_ms);
+            }
+        }
+        let series = odx_telemetry::SeriesRecorder::new(40);
+        let mut sim = Simulation::new(Sampled::default());
+        sim.attach_series(series);
+        sim.schedule_at(SimTime::from_millis(5), Ev::Mark("a"));
+        sim.schedule_at(SimTime::from_millis(130), Ev::Mark("b"));
+        sim.run_to_completion();
+        // Due points 40, 80, 120 all precede the event at 130; the event
+        // at 5 precedes every grid point, and no sample fires at/after
+        // the last event without an explicit finish().
+        assert_eq!(sim.world().pre_samples, vec![40, 80, 120]);
+    }
+
+    #[test]
+    fn profiler_buckets_every_event_by_label() {
+        struct Labeled(Recorder);
+        impl World for Labeled {
+            type Event = Ev;
+            fn handle(&mut self, ctx: &mut Ctx<Ev>, ev: Ev) {
+                self.0.handle(ctx, ev)
+            }
+            fn event_label(&self, event: &Ev) -> &'static str {
+                match event {
+                    Ev::Mark(_) => "mark",
+                    Ev::Chain(..) => "chain",
+                }
+            }
+        }
+        let registry = odx_telemetry::Registry::new();
+        let mut sim = Simulation::new(Labeled(Recorder::default()));
+        sim.attach_telemetry(registry.clone());
+        sim.attach_profiler();
+        sim.schedule_at(SimTime::from_millis(1), Ev::Mark("a"));
+        sim.schedule_at(SimTime::from_millis(2), Ev::Chain("c", 2));
+        sim.run_to_completion();
+        let prof = sim.profiler().expect("profiler attached");
+        assert_eq!(prof.events(), 4);
+        assert!(prof.run_secs() > 0.0);
+        // Buckets flushed into the wall section; deterministic exports
+        // stay clean of them.
+        assert_eq!(registry.wall("prof.handler.mark.events"), Some(1.0));
+        assert_eq!(registry.wall("prof.handler.chain.events"), Some(3.0));
+        assert!(registry.wall("prof.sched.pops").unwrap() >= 4.0);
+        assert!(registry.wall("prof.run_secs").is_some());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["sim.events"], 4);
+        assert!(!snap.to_json().contains("prof."));
     }
 
     #[test]

@@ -71,8 +71,9 @@ impl TaskTraceSet {
         }
         let _ = write!(
             out,
-            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"sample_every\":\"{}\"}}}}",
-            self.sample_every
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"sample_every\":\"{}\",\
+             \"scheduler\":\"{}\",\"scenario\":\"{}\"}}}}",
+            self.sample_every, self.scheduler, self.scenario
         );
         out
     }
@@ -358,6 +359,16 @@ mod tests {
     #[test]
     fn export_is_byte_identical_across_snapshots() {
         assert_eq!(demo_set().to_chrome_json(), demo_set().to_chrome_json());
+    }
+
+    #[test]
+    fn context_is_stamped_in_other_data() {
+        let mut set = demo_set();
+        assert!(set.to_chrome_json().contains("\"scheduler\":\"\",\"scenario\":\"\""));
+        set.set_context("heap", "cernet-heavy");
+        let json = set.to_chrome_json();
+        assert!(json.contains("\"scheduler\":\"heap\",\"scenario\":\"cernet-heavy\""));
+        validate_chrome_trace(&json).expect("stamped trace still validates");
     }
 
     #[test]

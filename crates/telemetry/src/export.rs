@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use crate::registry::Snapshot;
 
 /// Minimal JSON string escaping.
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -29,7 +29,7 @@ fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// Deterministic float formatting; non-finite values become `null`.
-fn push_json_f64(out: &mut String, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
         // `{}` omits a decimal point for integral floats; that is still

@@ -96,6 +96,8 @@ impl FlightRecorder {
     pub fn snapshot(&self) -> FlightSnapshot {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         FlightSnapshot {
+            scheduler: String::new(),
+            scenario: String::new(),
             dumps: inner.dumps.clone(),
             recorded: inner.recorded,
             dropped_dumps: inner.dropped_dumps,
@@ -106,6 +108,13 @@ impl FlightRecorder {
 /// Point-in-time export of a [`FlightRecorder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlightSnapshot {
+    /// The active scheduler kind's name (`heap` / `wheel`), stamped by
+    /// the replay layer so cross-scheduler dump diffs are unambiguous.
+    /// Empty until [`FlightSnapshot::set_context`] runs.
+    pub scheduler: String,
+    /// The scenario name the dumping run replayed, stamped alongside
+    /// `scheduler`.
+    pub scenario: String,
     /// Retained anomaly dumps, in dump order (dump order is virtual-time
     /// order, so this is deterministic).
     pub dumps: Vec<FlightDump>,
@@ -116,12 +125,25 @@ pub struct FlightSnapshot {
 }
 
 impl FlightSnapshot {
-    /// Deterministic compact-JSON export of the dumps.
+    /// Stamp the run context (active scheduler kind, scenario name) into
+    /// the snapshot's metadata header.
+    pub fn set_context(&mut self, scheduler: &str, scenario: &str) {
+        self.scheduler = scheduler.to_string();
+        self.scenario = scenario.to_string();
+    }
+
+    /// Deterministic compact-JSON export of the dumps. The header stamps
+    /// the run context so dumps from different schedulers or scenarios
+    /// are distinguishable at a glance.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128 + 64 * self.dumps.len());
+        out.push_str("{\"scheduler\":");
+        crate::export::push_json_str(&mut out, &self.scheduler);
+        out.push_str(",\"scenario\":");
+        crate::export::push_json_str(&mut out, &self.scenario);
         let _ = write!(
             out,
-            "{{\"recorded\":{},\"dropped_dumps\":{},\"dumps\":[",
+            ",\"recorded\":{},\"dropped_dumps\":{},\"dumps\":[",
             self.recorded, self.dropped_dumps
         );
         for (i, dump) in self.dumps.iter().enumerate() {
@@ -185,6 +207,19 @@ mod tests {
         let snap = flight.snapshot();
         assert_eq!(snap.dumps[0].recent.len(), 2);
         assert_eq!(snap.dumps[0].recent[1].label, "fetch_begin");
+    }
+
+    #[test]
+    fn context_is_stamped_in_the_header() {
+        let flight = FlightRecorder::new(2, 2);
+        flight.record(1, "arrive");
+        flight.dump(3, "stagnation", 4);
+        let mut snap = flight.snapshot();
+        assert!(snap.to_json().starts_with("{\"scheduler\":\"\",\"scenario\":\"\","));
+        snap.set_context("wheel", "paper-default");
+        assert!(snap
+            .to_json()
+            .starts_with("{\"scheduler\":\"wheel\",\"scenario\":\"paper-default\","));
     }
 
     #[test]

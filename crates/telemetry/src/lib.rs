@@ -36,14 +36,20 @@ mod chrome;
 mod export;
 mod flight;
 mod hist;
+mod prof;
 mod registry;
+mod series;
 mod task;
 mod trace;
 
 pub use chrome::{validate_chrome_trace, ChromeTraceStats};
 pub use flight::{FlightDump, FlightEvent, FlightRecorder, FlightSnapshot};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use prof::{render_rows, rows_from_walls, HandlerProfiler, ProfRow};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry, Snapshot};
+pub use series::{
+    publish_series, published_series, MetricSeries, SeriesRecorder, SeriesSet, SeriesSnapshot,
+};
 pub use task::{
     Attribution, Lifecycle, LifecycleReport, Stage, StageAgg, TaskEnd, TaskSpan, TaskTrace,
     TaskTraceSet, TaskTracer, TraceConfig,

@@ -278,7 +278,12 @@ impl TaskTracer {
         for trace in &mut traces {
             trace.spans.sort_by_key(|s| (s.start_ms, s.stage.index()));
         }
-        TaskTraceSet { traces, sample_every: self.sample_every }
+        TaskTraceSet {
+            traces,
+            sample_every: self.sample_every,
+            scheduler: String::new(),
+            scenario: String::new(),
+        }
     }
 }
 
@@ -289,9 +294,21 @@ pub struct TaskTraceSet {
     pub traces: Vec<TaskTrace>,
     /// The sampling rate they were recorded under.
     pub sample_every: u64,
+    /// The active scheduler kind's name, stamped by the replay layer
+    /// into the Chrome-trace metadata header (empty until stamped).
+    pub scheduler: String,
+    /// The scenario name the traced run replayed (empty until stamped).
+    pub scenario: String,
 }
 
 impl TaskTraceSet {
+    /// Stamp the run context (active scheduler kind, scenario name) for
+    /// the Chrome-trace `otherData` header.
+    pub fn set_context(&mut self, scheduler: &str, scenario: &str) {
+        self.scheduler = scheduler.to_string();
+        self.scenario = scenario.to_string();
+    }
+
     /// Decompose the recorded completion times into per-stage totals.
     pub fn attribution(&self) -> Attribution {
         let mut attribution = Attribution::default();
@@ -501,6 +518,15 @@ impl LifecycleReport {
     pub fn attribution(&self) -> Attribution {
         self.traces.attribution()
     }
+
+    /// Stamp the run context (active scheduler kind, scenario name) into
+    /// both exports' metadata headers: the Chrome trace's `otherData`
+    /// and the flight dump's top-level fields. The replay layer calls
+    /// this so cross-scheduler dump diffs are unambiguous.
+    pub fn set_context(&mut self, scheduler: &str, scenario: &str) {
+        self.traces.set_context(scheduler, scenario);
+        self.flight.set_context(scheduler, scenario);
+    }
 }
 
 #[cfg(test)]
@@ -571,7 +597,15 @@ mod tests {
         let halves: Vec<Attribution> = set
             .traces
             .iter()
-            .map(|t| TaskTraceSet { traces: vec![t.clone()], sample_every: 1 }.attribution())
+            .map(|t| {
+                TaskTraceSet {
+                    traces: vec![t.clone()],
+                    sample_every: 1,
+                    scheduler: String::new(),
+                    scenario: String::new(),
+                }
+                .attribution()
+            })
             .collect();
         let mut ab = halves[0].clone();
         ab.merge(&halves[1]);

@@ -31,6 +31,8 @@ fn spec_for(names: &[&str], seeds: Vec<u64>, jobs: usize) -> SweepSpec {
         scale: 0.002,
         jobs,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     }
 }
 
@@ -69,6 +71,8 @@ fn explicit_lru_variant_matches_the_implicit_default() {
         scale: 0.001,
         jobs: 1,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     });
     let explicit = run_sweep(&SweepSpec {
         scenarios: policy_variants(&base, &[PolicyKind::Lru]),
@@ -76,6 +80,8 @@ fn explicit_lru_variant_matches_the_implicit_default() {
         scale: 0.001,
         jobs: 1,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     });
     let (a, b) = (&implicit.cells[0], &explicit.cells[0]);
     assert_eq!(a.scenario, "paper-default");
@@ -98,6 +104,8 @@ fn cache_compare_grid_is_jobs_invariant() {
         scale: 0.0005,
         jobs,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     };
     let serial = run_sweep(&spec(1));
     let parallel = run_sweep(&spec(4));
@@ -116,6 +124,8 @@ fn policies_actually_diverge_under_cache_pressure() {
         scale: 0.002,
         jobs: 2,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     });
     let ratios: Vec<f64> = report.cells.iter().map(|c| c.hit_ratio).collect();
     assert_eq!(ratios.len(), PolicyKind::ALL.len());

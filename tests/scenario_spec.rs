@@ -18,8 +18,15 @@ use odx::sweep::{policy_variants, run_sweep, SweepSpec};
 fn spec_pipeline_replays_every_preset_byte_for_byte() {
     let scenarios = ScenarioRegistry::builtin().resolve("all").expect("builtin selector");
     assert_eq!(scenarios.len(), 7, "the goldens captured all 7 presets");
-    let report =
-        run_sweep(&SweepSpec { scenarios, seeds: vec![2015], scale: 0.002, jobs: 2, trace: None });
+    let report = run_sweep(&SweepSpec {
+        scenarios,
+        seeds: vec![2015],
+        scale: 0.002,
+        jobs: 2,
+        trace: None,
+        series_interval_ms: None,
+        progress: false,
+    });
     assert_eq!(
         report.to_json(),
         include_str!("golden/sweep_all7_s2015_scale0002.json"),
@@ -81,6 +88,8 @@ fn example_scenario_file_runs_end_to_end() {
         scale: 0.0005,
         jobs,
         trace: None,
+        series_interval_ms: None,
+        progress: false,
     };
     let serial = run_sweep(&spec(cells.clone(), 1));
     let parallel = run_sweep(&spec(cells.clone(), 4));

@@ -11,7 +11,15 @@ fn spec(seed: u64, n_scenarios: usize, jobs: usize, scheduler: SchedulerKind) ->
     for scenario in &mut scenarios {
         scenario.scheduler = scheduler;
     }
-    SweepSpec { scenarios, seeds: vec![seed, seed + 1], scale: 0.0005, jobs, trace: None }
+    SweepSpec {
+        scenarios,
+        seeds: vec![seed, seed + 1],
+        scale: 0.0005,
+        jobs,
+        trace: None,
+        series_interval_ms: None,
+        progress: false,
+    }
 }
 
 proptest! {

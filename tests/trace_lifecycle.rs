@@ -100,6 +100,8 @@ fn sweep_attribution_merges_across_shards() {
         scale: 0.0005,
         jobs,
         trace: Some(TraceConfig::sampled(3)),
+        series_interval_ms: None,
+        progress: false,
     };
     let j1 = run_sweep(&spec(1));
     let j4 = run_sweep(&spec(4));
