@@ -10,6 +10,18 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== test registration guard: every tests/*.rs has a [[test]] entry =="
+# Root-level integration tests only run if some crate's manifest points a
+# [[test]] target at them; an unregistered file is silently dead code.
+for t in tests/*.rs; do
+  name="$(basename "$t")"
+  if ! grep -q "path = \"../../tests/$name\"" crates/*/Cargo.toml; then
+    echo "tests/$name has no [[test]] entry in any crates/*/Cargo.toml" >&2
+    exit 1
+  fi
+done
+echo "all $(ls tests/*.rs | wc -l) root test files registered"
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -37,6 +49,14 @@ cargo run --release -p odx-bench --bin repro -- scenario check \
 cargo run --release -p odx-bench --bin repro -- \
   --scenario-file examples/campus-pressure.json headline \
   --scenario campus-pressure --scale 0.01 --sample 200
+# The fault-plan example: validate, then replay its base cell — the
+# headline must print the fault/retry taxonomy under an active plan.
+cargo run --release -p odx-bench --bin repro -- scenario check \
+  --json examples/flaky-week.json
+cargo run --release -p odx-bench --bin repro -- \
+  --scenario-file examples/flaky-week.json headline \
+  --scenario flaky-week --scale 0.01 --sample 200 > "$CONFIG_TMP/flaky.out"
+grep -q "fault injection & recovery" "$CONFIG_TMP/flaky.out"
 # Its 2×2 axis grid must sweep --jobs-independently.
 cargo run --release -p odx-bench --bin repro -- \
   --scenario-file examples/campus-pressure.json sweep \
@@ -78,6 +98,29 @@ cargo run --release -p odx-bench --bin repro -- cache-compare \
 diff "$SWEEP_TMP/cc1/cache_compare.json" "$SWEEP_TMP/cc4/cache_compare.json"
 diff "$SWEEP_TMP/cc1/cache_compare.csv" "$SWEEP_TMP/cc4/cache_compare.csv"
 echo "cache-compare snapshots identical"
+
+echo "== resilience smoke: fault grid --jobs/scheduler invariant; zero-fault cell = baseline =="
+cargo run --release -p odx-bench --bin repro -- resilience \
+  --scenario cache-pressure --seeds 1 --jobs 1 --scale 0.002 --out "$SWEEP_TMP/r1"
+cargo run --release -p odx-bench --bin repro -- resilience \
+  --scenario cache-pressure --seeds 1 --jobs 4 --scale 0.002 --out "$SWEEP_TMP/r4"
+diff "$SWEEP_TMP/r1/resilience.json" "$SWEEP_TMP/r4/resilience.json"
+diff "$SWEEP_TMP/r1/resilience.csv" "$SWEEP_TMP/r4/resilience.csv"
+# Swapping the future-event list must not move a byte, faults included.
+cargo run --release -p odx-bench --bin repro -- resilience \
+  --scenario cache-pressure --seeds 1 --jobs 2 --scale 0.002 \
+  --set sim.scheduler=wheel --out "$SWEEP_TMP/rw"
+diff "$SWEEP_TMP/r1/resilience.json" "$SWEEP_TMP/rw/resilience.json"
+# The grid's zero-fault/no-retry cell must match a plain sweep of the
+# same scenario byte-for-byte (cell name aside): injection machinery off
+# is indistinguishable from injection machinery absent.
+cargo run --release -p odx-bench --bin repro -- sweep \
+  --scenario cache-pressure --seeds 1 --jobs 1 --scale 0.002 --out "$SWEEP_TMP/rbase"
+base_cell="$(grep -o '{"scenario":"cache-pressure","seed[^}]*}' "$SWEEP_TMP/rbase/sweep.json" | sed 's/^[^,]*,//')"
+zero_cell="$(grep -o '{"scenario":"cache-pressure/fault=0/retry=none"[^}]*}' "$SWEEP_TMP/r1/resilience.json" | sed 's/^[^,]*,//')"
+test -n "$base_cell"
+[ "$base_cell" = "$zero_cell" ]
+echo "resilience snapshots identical; zero-fault cell matches the baseline sweep"
 
 echo "== series smoke: --progress stays off stdout; series export --jobs invariant =="
 # A --progress sweep piped through a file: stdout must be byte-identical

@@ -8,6 +8,7 @@
 //! benchmark mode, so the harness exercises the same [`crate::ProxyBackend`]
 //! layer as the other evaluators.
 
+use odx_faults::{FaultDomain, FaultKind, FaultPlan, FaultsConfig};
 use odx_p2p::FailureCause;
 use odx_sim::{RngFactory, SimDuration};
 use odx_smartap::ApModel;
@@ -175,7 +176,24 @@ impl SmartApBenchmark {
         fleet: &[ApContext; 3],
         rngs: &RngFactory,
     ) -> ApBenchReport {
-        Self::replay_fleet_inner(sample, fleet, rngs, None, None).0
+        Self::replay_fleet_inner(sample, fleet, rngs, None, None, &FaultPlan::empty()).0
+    }
+
+    /// Replay a fleet under a fault-injection config: smart-AP windows are
+    /// keyed on each AP line's own virtual clock, so a disk-stall window
+    /// slows (and a power-cycle window kills) whatever task the line is
+    /// running when the window is open. The plan compiles from a dedicated
+    /// `"smartap-faults"` stream and injection itself draws nothing, so a
+    /// zero-intensity config replays byte-identically to
+    /// [`SmartApBenchmark::replay_fleet`].
+    pub fn replay_fleet_faulted(
+        sample: &[SampledRequest],
+        fleet: &[ApContext; 3],
+        rngs: &RngFactory,
+        faults: &FaultsConfig,
+    ) -> ApBenchReport {
+        let plan = FaultPlan::compile(faults, &mut rngs.stream("smartap-faults"));
+        Self::replay_fleet_inner(sample, fleet, rngs, None, None, &plan).0
     }
 
     /// Replay a fleet with per-task lifecycle tracing. The harness is
@@ -190,8 +208,14 @@ impl SmartApBenchmark {
         rngs: &RngFactory,
         trace: &TraceConfig,
     ) -> (ApBenchReport, LifecycleReport) {
-        let (report, lifecycle) =
-            Self::replay_fleet_inner(sample, fleet, rngs, Some(Lifecycle::new(trace)), None);
+        let (report, lifecycle) = Self::replay_fleet_inner(
+            sample,
+            fleet,
+            rngs,
+            Some(Lifecycle::new(trace)),
+            None,
+            &FaultPlan::empty(),
+        );
         (report, lifecycle.expect("tracing was requested"))
     }
 
@@ -218,7 +242,8 @@ impl SmartApBenchmark {
             storage_limited: registry.counter("ap.storage_limited"),
             recorder: recorder.clone(),
         };
-        let (report, _) = Self::replay_fleet_inner(sample, fleet, rngs, None, Some(&ctx));
+        let (report, _) =
+            Self::replay_fleet_inner(sample, fleet, rngs, None, Some(&ctx), &FaultPlan::empty());
         (report, recorder.snapshot())
     }
 
@@ -228,6 +253,7 @@ impl SmartApBenchmark {
         rngs: &RngFactory,
         lifecycle: Option<Lifecycle>,
         series: Option<&BenchSeries>,
+        plan: &FaultPlan,
     ) -> (ApBenchReport, Option<LifecycleReport>) {
         let mut backends: Vec<SmartApBackend> =
             fleet.iter().map(|&ap| SmartApBackend::bench(ap)).collect();
@@ -242,7 +268,31 @@ impl SmartApBenchmark {
             let mut rng = rngs.stream_indexed("smartap-bench", i as u64);
             let preq = ProxyRequest::from_sampled(req, false, Some(fleet[slot]));
             let mut ctx = ExecCtx { rng: &mut rng, cloud: &mut cloud };
-            let out = backends[slot].execute(&preq, &mut ctx);
+            let mut out = backends[slot].execute(&preq, &mut ctx);
+            // Fault windows are keyed on the line's clock at task start.
+            // Injection draws nothing: an empty plan leaves `out` — and
+            // therefore the whole replay — untouched.
+            if let Some(window) = plan.active(FaultDomain::SmartAp, ap_clock[slot].as_millis()) {
+                match window.kind {
+                    FaultKind::ApPowerCycle => {
+                        // The box reboots mid-transfer: the task is lost
+                        // but its time and WAN traffic were still spent.
+                        out.success = false;
+                        out.cause = Some(FailureCause::SystemBug);
+                        out.rate_kbps = 0.0;
+                        out.storage_limited = false;
+                    }
+                    FaultKind::ApDiskStall if out.success => {
+                        out.rate_kbps *= window.severity;
+                        out.duration = SimDuration::from_secs_f64(
+                            out.duration.as_secs_f64() / window.severity,
+                        );
+                        out.iowait = 1.0 - (1.0 - out.iowait) * window.severity;
+                        out.storage_limited = true;
+                    }
+                    _ => {}
+                }
+            }
             if let Some(lifecycle) = &lifecycle {
                 let task = i as u64;
                 let start = ap_clock[slot].as_millis();
@@ -441,6 +491,40 @@ mod tests {
         }
         let failures = traced.records().iter().filter(|r| !r.success).count() as u64;
         assert_eq!(lifecycle.flight.dumps.len() as u64 + lifecycle.flight.dropped_dumps, failures);
+    }
+
+    #[test]
+    fn ap_fault_windows_slow_and_kill_tasks_but_zero_intensity_is_free() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(149);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(0.02), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(0.02), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        let sample = sample_benchmark_workload(&workload, &catalog, &population, 3000, &mut rng);
+        let fleet = ApContext::bench_fleet();
+        let plain = SmartApBenchmark::replay_fleet(&sample, &fleet, &RngFactory::new(149));
+        // Zero intensity must not perturb a single record.
+        let quiet = SmartApBenchmark::replay_fleet_faulted(
+            &sample,
+            &fleet,
+            &RngFactory::new(149),
+            &FaultsConfig::default(),
+        );
+        assert_eq!(format!("{:?}", plain.records()), format!("{:?}", quiet.records()));
+        // An aggressive plan kills some tasks and stalls others.
+        let faults = FaultsConfig { intensity: 0.2, ..FaultsConfig::default() };
+        let faulted =
+            SmartApBenchmark::replay_fleet_faulted(&sample, &fleet, &RngFactory::new(149), &faults);
+        assert!(
+            faulted.failure_ratio() > plain.failure_ratio(),
+            "power cycles should raise failures: {} vs {}",
+            faulted.failure_ratio(),
+            plain.failure_ratio()
+        );
+        assert!(
+            faulted.storage_limited_fraction() > plain.storage_limited_fraction(),
+            "disk stalls should hit the storage wall more often"
+        );
     }
 
     #[test]

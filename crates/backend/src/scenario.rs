@@ -12,6 +12,7 @@
 
 use odx_cache::{CacheConfig, PolicyKind};
 use odx_config::{ConfigError, Json, ScenarioSpec};
+use odx_faults::{FaultsConfig, RetryConfig, RetryKind};
 use odx_net::IspMix;
 use odx_sim::SchedulerKind;
 use odx_smartap::ApModel;
@@ -55,6 +56,12 @@ pub struct Scenario {
     /// Override for CERNET's share of the user population; the other ISPs'
     /// shares are rescaled proportionally. `None` keeps the default mix.
     pub cernet_share: Option<f64>,
+    /// Fault-injection knobs (`faults.*`; zero intensity — no injection —
+    /// in every preset, keeping default replays byte-identical).
+    pub faults: FaultsConfig,
+    /// Retry/backoff knobs (`retry.*`; policy `none` in every preset,
+    /// matching the paper's observed no-retry behaviour).
+    pub retry: RetryConfig,
     /// The three-AP fleet used by the AP benchmark and ODR's round-robin
     /// AP assignment.
     pub ap_fleet: [ApContext; 3],
@@ -89,6 +96,14 @@ impl Scenario {
                 "scheduler",
                 &spec.sim.scheduler,
                 SchedulerKind::ALL.map(SchedulerKind::name),
+            )
+        })?;
+        let retry_kind = RetryKind::parse(&spec.retry.policy).ok_or_else(|| {
+            ConfigError::unknown(
+                "retry.policy",
+                "retry policy",
+                &spec.retry.policy,
+                RetryKind::ALL.map(RetryKind::name),
             )
         })?;
         let mut fleet = Vec::with_capacity(3);
@@ -135,6 +150,19 @@ impl Scenario {
             privileged_paths: spec.privileged_paths,
             demand_factor: spec.demand_factor,
             cernet_share: spec.cernet_share,
+            faults: FaultsConfig {
+                intensity: spec.faults.intensity,
+                window_s: spec.faults.window_s,
+                net_slowdown: spec.faults.net_slowdown,
+                cloud_slowdown: spec.faults.cloud_slowdown,
+                ap_slowdown: spec.faults.ap_slowdown,
+            },
+            retry: RetryConfig {
+                kind: retry_kind,
+                base_delay_s: spec.retry.base_delay_s,
+                max_attempts: spec.retry.max_attempts,
+                jitter: spec.retry.jitter,
+            },
             ap_fleet: [fleet[0], fleet[1], fleet[2]],
             scheduler,
             series_interval_s: spec.telemetry.series_interval_s,
@@ -158,6 +186,15 @@ impl Scenario {
         spec.privileged_paths = self.privileged_paths;
         spec.demand_factor = self.demand_factor;
         spec.cernet_share = self.cernet_share;
+        spec.faults.intensity = self.faults.intensity;
+        spec.faults.window_s = self.faults.window_s;
+        spec.faults.net_slowdown = self.faults.net_slowdown;
+        spec.faults.cloud_slowdown = self.faults.cloud_slowdown;
+        spec.faults.ap_slowdown = self.faults.ap_slowdown;
+        spec.retry.policy = self.retry.kind.name().to_owned();
+        spec.retry.base_delay_s = self.retry.base_delay_s;
+        spec.retry.max_attempts = self.retry.max_attempts;
+        spec.retry.jitter = self.retry.jitter;
         for (slot, ctx) in spec.ap_fleet.iter_mut().zip(self.ap_fleet) {
             slot.model = ctx.model.name().to_owned();
             slot.device = ctx.device.name().to_owned();
@@ -513,6 +550,27 @@ mod tests {
         let err = Scenario::from_spec(&spec).unwrap_err();
         assert_eq!(err.path, "sim.scheduler");
         assert!(err.message.contains("did you mean `wheel`?"), "{err}");
+
+        let mut spec = ScenarioSpec::baseline("x", "");
+        spec.retry.policy = "exp".into();
+        let err = Scenario::from_spec(&spec).unwrap_err();
+        assert_eq!(err.path, "retry.policy");
+        assert!(err.message.contains("did you mean `expo`?"), "{err}");
+    }
+
+    #[test]
+    fn every_preset_injects_no_faults_and_never_retries() {
+        let reg = ScenarioRegistry::builtin();
+        for s in reg.all() {
+            assert!(!s.faults.is_active(), "{} injects faults", s.name);
+            assert_eq!(s.retry.kind, RetryKind::None, "{} retries", s.name);
+        }
+        let mut spec = ScenarioSpec::baseline("x", "");
+        spec.faults.intensity = 0.2;
+        spec.retry.policy = "expo".into();
+        let s = Scenario::from_spec(&spec).unwrap();
+        assert!(s.faults.is_active());
+        assert_eq!(s.retry.kind, RetryKind::Expo);
     }
 
     #[test]

@@ -147,6 +147,7 @@ const COMMANDS: &[&str] = &[
     "check-trace",
     "sweep",
     "cache-compare",
+    "resilience",
     "bench",
     "series",
     "profile",
@@ -192,6 +193,9 @@ struct Options {
     /// `--policy`: restrict `cache-compare` to one policy, and swap the
     /// pool policy of the active scenario for every other command.
     policy: Option<PolicyKind>,
+    /// `--policy` when its value names a retry policy instead of a cache
+    /// policy: restricts the `resilience` grid to baseline vs that policy.
+    retry_policy: Option<odx::faults::RetryKind>,
     /// `--progress`: live shard progress on stderr for `sweep`,
     /// `cache-compare`, and `series` (stdout stays byte-identical).
     progress: bool,
@@ -230,6 +234,11 @@ fn print_usage(out: &mut dyn Write) {
     for p in PolicyKind::ALL {
         let _ = writeln!(out, "  {:<18} {}", p.name(), p.summary());
     }
+    let _ = writeln!(
+        out,
+        "retry policies (--policy / resilience): {}",
+        odx::faults::RetryKind::ALL.map(|k| k.name()).join(" ")
+    );
 }
 
 /// Reject `what` with the usage listing on stderr and a non-zero exit.
@@ -274,6 +283,7 @@ fn parse_args() -> Options {
     let mut metrics = None;
     let mut json = None;
     let mut policy = None;
+    let mut retry_policy = None;
     let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -285,11 +295,15 @@ fn parse_args() -> Options {
             "--set" => sets.push(parse_set(&args.next().expect("--set value"))),
             "--all" => dump_all = true,
             "--policy" => {
+                // Cache and retry policy names share the flag (the two
+                // namespaces are disjoint): `lru` narrows cache-compare,
+                // `expo` narrows the resilience grid.
                 let name = args.next().expect("--policy value");
-                policy = match PolicyKind::parse(&name) {
-                    Some(p) => Some(p),
-                    None => usage_error(&format!("cache policy `{name}`")),
-                };
+                match (PolicyKind::parse(&name), odx::faults::RetryKind::parse(&name)) {
+                    (Some(p), _) => policy = Some(p),
+                    (None, Some(r)) => retry_policy = Some(r),
+                    (None, None) => usage_error(&format!("cache or retry policy `{name}`")),
+                }
             }
             "--scale" => scale = args.next().expect("--scale value").parse().expect("scale"),
             "--seed" => seed = args.next().expect("--seed value").parse().expect("seed"),
@@ -383,6 +397,7 @@ fn parse_args() -> Options {
         metrics,
         json,
         policy,
+        retry_policy,
         progress,
     }
 }
@@ -432,6 +447,9 @@ fn main() {
     if opts.commands.contains("cache-compare") {
         cache_compare(&opts);
     }
+    if opts.commands.contains("resilience") {
+        resilience_cmd(&opts);
+    }
     if opts.commands.contains("bench") {
         bench_report(&opts);
     }
@@ -446,6 +464,7 @@ fn main() {
             c.as_str(),
             "sweep"
                 | "cache-compare"
+                | "resilience"
                 | "bench"
                 | "series"
                 | "profile"
@@ -538,6 +557,9 @@ fn main() {
         }
         if want("headline") {
             odr_headline(&eval);
+            if let Some(report) = &cloud {
+                fault_taxonomy(report);
+            }
         }
     }
     if want("ablate-cache") {
@@ -1166,6 +1188,118 @@ fn cache_compare(opts: &Options) {
     }
 }
 
+/// `resilience`: sweep a fault-intensity × retry-policy grid over the
+/// selected scenario(s) and diff every cell against its scenario's
+/// uninjected `fault=0/retry=none` baseline cell (same seed). Per-cell
+/// rows show failure share, stagnated pre-downloads, and goodput
+/// (completed fetches per request) with their deltas; per-variant means
+/// summarize the grid. `--policy none|fixed|expo` narrows the retry axis
+/// to baseline-vs-that-policy. The deterministic exports
+/// (`resilience.{json,csv}` under `--out DIR`) are byte-identical for
+/// any `--jobs` value and either scheduler.
+fn resilience_cmd(opts: &Options) {
+    use odx::faults::RetryKind;
+    use odx::sweep::{resilience_variants, run_sweep, SweepSpec};
+    let scenarios = resolve_scenarios(opts);
+    let intensities = [0.0, 0.1, 0.25];
+    let policies: Vec<RetryKind> = match opts.retry_policy {
+        Some(RetryKind::None) => vec![RetryKind::None],
+        Some(p) => vec![RetryKind::None, p],
+        None => RetryKind::ALL.to_vec(),
+    };
+    let variants = resilience_variants(&scenarios, &intensities, &policies);
+    let seeds: Vec<u64> = (0..opts.seeds as u64).map(|i| opts.seed + i).collect();
+    section(&format!(
+        "Resilience — {} scenario(s) × {} intensit{} × {} polic{} × {} seed(s) at scale {} on {} worker(s)",
+        scenarios.len(),
+        intensities.len(),
+        if intensities.len() == 1 { "y" } else { "ies" },
+        policies.len(),
+        if policies.len() == 1 { "y" } else { "ies" },
+        seeds.len(),
+        opts.scale,
+        opts.jobs
+    ));
+    let spec = SweepSpec {
+        scenarios: variants.clone(),
+        seeds,
+        scale: opts.scale,
+        jobs: opts.jobs,
+        trace: None,
+        series_interval_ms: None,
+        progress: opts.progress,
+    };
+    let report = run_sweep(&spec);
+    report.record_wall(odx_telemetry::global());
+    // Baseline lookup: the scenario's own zero-fault, no-retry cell at
+    // the same seed (always in the grid — intensity 0 and `none` are).
+    let baseline = |scenario: &str, seed: u64| {
+        let base = scenario.split("/fault=").next().unwrap_or(scenario);
+        let name = format!("{base}/fault=0/retry=none");
+        report.cells.iter().find(|c| c.scenario == name && c.seed == seed)
+    };
+    let goodput = |c: &odx::sweep::SweepCell| c.completed_fetches as f64 / c.requests.max(1) as f64;
+    println!(
+        "  {:<40} {:>6} {:>9} {:>6} {:>7} {:>9} {:>7} {:>8}",
+        "scenario/fault/retry", "seed", "requests", "fail%", "Δfail", "stagnant", "good%", "Δgood"
+    );
+    for c in &report.cells {
+        let base = baseline(&c.scenario, c.seed).expect("zero-fault baseline cell in grid");
+        println!(
+            "  {:<40} {:>6} {:>9} {:>6.2} {:>+7.2} {:>9} {:>7.2} {:>+8.2}",
+            c.scenario,
+            c.seed,
+            c.requests,
+            100.0 * c.failure_ratio,
+            100.0 * (c.failure_ratio - base.failure_ratio),
+            c.predownload_failures,
+            100.0 * goodput(c),
+            100.0 * (goodput(c) - goodput(base)),
+        );
+    }
+    println!("  means per grid cell vs the uninjected baseline:");
+    for variant in &variants {
+        let cells: Vec<_> = report.cells.iter().filter(|c| c.scenario == variant.name).collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let n = cells.len() as f64;
+        let fail = 100.0 * cells.iter().map(|c| c.failure_ratio).sum::<f64>() / n;
+        let good = 100.0 * cells.iter().map(|c| goodput(c)).sum::<f64>() / n;
+        let (bfail, bgood) = {
+            let bases: Vec<_> =
+                cells.iter().filter_map(|c| baseline(&c.scenario, c.seed)).collect();
+            let bn = bases.len().max(1) as f64;
+            (
+                100.0 * bases.iter().map(|c| c.failure_ratio).sum::<f64>() / bn,
+                100.0 * bases.iter().map(|c| goodput(c)).sum::<f64>() / bn,
+            )
+        };
+        println!(
+            "  {:<40} failure {:>5.2}% (\u{0394}{:+5.2})   goodput {:>5.2}% (\u{0394}{:+5.2})",
+            variant.name,
+            fail,
+            fail - bfail,
+            good,
+            good - bgood
+        );
+    }
+    println!(
+        "  {} cell(s) on {} worker(s) in {:.2}s — {:.0} events/sec aggregate",
+        report.cells.len(),
+        report.jobs,
+        report.wall_secs,
+        report.events_per_sec()
+    );
+    if let Some(dir) = out_dir(opts) {
+        let json_path = dir.join("resilience.json");
+        let csv_path = dir.join("resilience.csv");
+        std::fs::write(&json_path, report.to_json()).expect("write resilience.json");
+        std::fs::write(&csv_path, report.to_csv()).expect("write resilience.csv");
+        println!("  [deterministic snapshots → {} / {}]", json_path.display(), csv_path.display());
+    }
+}
+
 /// `series`: replay the selected scenario(s) × seeds on the sweep pool
 /// with virtual-time series recording and export the merged `(scenario,
 /// seed)`-keyed set as byte-stable JSON + CSV. The cadence is the active
@@ -1619,6 +1753,25 @@ fn odr_headline(eval: &OdrEvalReport) {
     ] {
         println!("    {:<18} {:>6}", d.to_string(), counts.get(&d).copied().unwrap_or(0));
     }
+}
+
+/// The fault/retry taxonomy of the cloud replay, printed next to the
+/// §6.2 decision counts when — and only when — a fault plan or retry
+/// policy actually fired. Default runs inject nothing and print nothing,
+/// keeping the headline output byte-identical to pre-fault builds.
+fn fault_taxonomy(report: &WeekReport) {
+    let c = &report.counters;
+    if c.fault_windows == 0 && c.retry_attempts == 0 {
+        return;
+    }
+    section("fault injection & recovery (active plan)");
+    println!("    {:<34} {:>8}", "injected fault windows", c.fault_windows);
+    println!("    {:<34} {:>8}", "  forced pre-download failures", c.fault_forced_failures);
+    println!("    {:<34} {:>8}", "  slowed pre-downloads", c.fault_slowed_predownloads);
+    println!("    {:<34} {:>8}", "  degraded fetches", c.fault_degraded_fetches);
+    println!("    {:<34} {:>8}", "retries attempted", c.retry_attempts);
+    println!("    {:<34} {:>8}", "  tasks rescued", c.retry_rescued);
+    println!("    {:<34} {:>8}", "  retries exhausted", c.retry_exhausted);
 }
 
 fn print_table2() {

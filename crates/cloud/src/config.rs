@@ -1,6 +1,7 @@
 //! Cloud system constants (§2.1) and replay calibration.
 
 use odx_cache::CacheConfig;
+use odx_faults::{FaultsConfig, RetryConfig};
 use odx_sim::{SchedulerKind, SimDuration};
 
 /// Configuration of the Xuanfeng-like cloud.
@@ -51,6 +52,13 @@ pub struct CloudConfig {
     /// Which future-event list the replay runs on. A wall-clock knob only:
     /// heap and wheel replays are byte-identical.
     pub scheduler: SchedulerKind,
+    /// Fault-injection knobs: compiled into an `odx_faults::FaultPlan` at
+    /// replay start. Zero intensity (the default) injects nothing and
+    /// consumes no RNG draws.
+    pub faults: FaultsConfig,
+    /// Retry/backoff knobs for stagnated pre-downloads. Policy `none`
+    /// (the default) matches the paper's observed no-retry behaviour.
+    pub retry: RetryConfig,
 }
 
 impl Default for CloudConfig {
@@ -71,6 +79,8 @@ impl Default for CloudConfig {
             cache_enabled: true,
             privileged_paths_enabled: true,
             scheduler: SchedulerKind::default(),
+            faults: FaultsConfig::default(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -95,6 +105,8 @@ impl CloudConfig {
         cfg.retry_decay = scenario.backend.retry_decay;
         cfg.upload_total_kbps /= scenario.demand_factor;
         cfg.scheduler = scenario.scheduler;
+        cfg.faults = scenario.faults;
+        cfg.retry = scenario.retry;
         cfg
     }
 

@@ -5,6 +5,7 @@
 //! fetch completion, producing the per-request pre-downloading and fetching
 //! traces plus the 5-minute upload-burden series of Figure 11.
 
+use odx_faults::{FaultDomain, FaultKind, FaultPlan, FaultWindow, RetryPolicy};
 use odx_net::{Isp, HD_THRESHOLD_KBPS};
 use odx_p2p::FailureCause;
 use odx_sim::{
@@ -80,9 +81,25 @@ pub struct Counters {
     pub predownload_traffic_mb: f64,
     /// Payload bytes pre-downloaded (MB).
     pub predownload_payload_mb: f64,
+    /// Injected fault windows that opened during the replay.
+    pub fault_windows: u64,
+    /// Pre-downloads forced to stagnate by a cloud outage window.
+    pub fault_forced_failures: u64,
+    /// Pre-downloads slowed by a cloud brownout window.
+    pub fault_slowed_predownloads: u64,
+    /// Fetches degraded by a net fault window.
+    pub fault_degraded_fetches: u64,
+    /// Stagnated pre-downloads re-dispatched by the retry policy.
+    pub retry_attempts: u64,
+    /// Requests rescued by a retry (waiters of a task that succeeded
+    /// after at least one re-dispatch).
+    pub retry_rescued: u64,
+    /// Tasks whose retry budget ran out (they failed their waiters).
+    pub retry_exhausted: u64,
 }
 
 /// Everything the week replay produces.
+#[derive(Debug)]
 pub struct WeekReport {
     /// One record per request (cache hits included with zero delay).
     pub predownloads: Vec<PredownloadRecord>,
@@ -215,6 +232,20 @@ pub enum Ev {
         /// When the fetch began.
         began: SimTime,
     },
+    /// An injected fault window opens (scheduled up front from the
+    /// compiled plan; purely observational — active-window queries go
+    /// through the plan, so the handler only counts and the event's
+    /// label stamps the window into the flight-recorder ring).
+    FaultWindow {
+        /// What the window injects (carries the `'static` label).
+        kind: FaultKind,
+    },
+    /// A stagnated pre-download's backoff expires: re-dispatch it for
+    /// the waiters still parked on the file.
+    RetryPredl {
+        /// Catalog index.
+        file: u32,
+    },
 }
 
 /// Sentinel terminating the per-file waiter lists in the task arena.
@@ -265,6 +296,13 @@ struct CloudMetrics {
     failures_by_cause: [Counter; 3],
     fetch_completed: Counter,
     fetch_impeded: Counter,
+    fault_window: Counter,
+    fault_predownload_forced: Counter,
+    fault_predownload_slowed: Counter,
+    fault_fetch_degraded: Counter,
+    retry_attempt: Counter,
+    retry_rescued: Counter,
+    retry_exhausted: Counter,
     fetch_rate_kbps: HistogramHandle,
     predownload_delay_ms: HistogramHandle,
     // Headline ratio gauges, also refreshed at every series sample so
@@ -293,6 +331,13 @@ struct HotMetrics {
     failures_by_cause: [u64; 3],
     fetch_completed: u64,
     fetch_impeded: u64,
+    fault_window: u64,
+    fault_predownload_forced: u64,
+    fault_predownload_slowed: u64,
+    fault_fetch_degraded: u64,
+    retry_attempt: u64,
+    retry_rescued: u64,
+    retry_exhausted: u64,
     fetch_rate_kbps: Histogram,
     predownload_delay_ms: Histogram,
 }
@@ -313,6 +358,13 @@ impl CloudMetrics {
             ],
             fetch_completed: registry.counter("cloud.fetch.completed"),
             fetch_impeded: registry.counter("cloud.fetch.impeded"),
+            fault_window: registry.counter("cloud.fault.window"),
+            fault_predownload_forced: registry.counter("cloud.fault.predownload.forced"),
+            fault_predownload_slowed: registry.counter("cloud.fault.predownload.slowed"),
+            fault_fetch_degraded: registry.counter("cloud.fault.fetch.degraded"),
+            retry_attempt: registry.counter("cloud.retry.attempt"),
+            retry_rescued: registry.counter("cloud.retry.rescued"),
+            retry_exhausted: registry.counter("cloud.retry.exhausted"),
             fetch_rate_kbps: registry.histogram("cloud.fetch.rate_kbps"),
             predownload_delay_ms: registry.histogram("cloud.predownload.delay_ms"),
             hit_ratio: registry.gauge("cloud.hit_ratio"),
@@ -339,6 +391,13 @@ impl CloudMetrics {
         }
         self.fetch_completed.add(std::mem::take(&mut hot.fetch_completed));
         self.fetch_impeded.add(std::mem::take(&mut hot.fetch_impeded));
+        self.fault_window.add(std::mem::take(&mut hot.fault_window));
+        self.fault_predownload_forced.add(std::mem::take(&mut hot.fault_predownload_forced));
+        self.fault_predownload_slowed.add(std::mem::take(&mut hot.fault_predownload_slowed));
+        self.fault_fetch_degraded.add(std::mem::take(&mut hot.fault_fetch_degraded));
+        self.retry_attempt.add(std::mem::take(&mut hot.retry_attempt));
+        self.retry_rescued.add(std::mem::take(&mut hot.retry_rescued));
+        self.retry_exhausted.add(std::mem::take(&mut hot.retry_exhausted));
         self.fetch_rate_kbps.merge(&std::mem::take(&mut hot.fetch_rate_kbps));
         self.predownload_delay_ms.merge(&std::mem::take(&mut hot.predownload_delay_ms));
     }
@@ -365,7 +424,7 @@ pub struct Observers<'a> {
 /// per-ISP upload admissions (the paper's per-ISP weekly curves), the
 /// headline ratio gauges, and the median fetch rate.
 fn register_cloud_series(series: &SeriesRecorder, registry: &Registry) {
-    const COUNTERS: [&str; 17] = [
+    const COUNTERS: [&str; 24] = [
         "sim.events",
         "cloud.requests",
         "cloud.cache.hit",
@@ -378,6 +437,13 @@ fn register_cloud_series(series: &SeriesRecorder, registry: &Registry) {
         "cloud.predownload.fail.bug",
         "cloud.fetch.completed",
         "cloud.fetch.impeded",
+        "cloud.fault.window",
+        "cloud.fault.predownload.forced",
+        "cloud.fault.predownload.slowed",
+        "cloud.fault.fetch.degraded",
+        "cloud.retry.attempt",
+        "cloud.retry.rescued",
+        "cloud.retry.exhausted",
         "cloud.upload.admit.unicom",
         "cloud.upload.admit.telecom",
         "cloud.upload.admit.mobile",
@@ -414,6 +480,17 @@ pub struct XuanfengCloud<'a> {
     pool: InstrumentedCache,
     backend: CloudWeekBackend,
     rng_think: SimRng,
+    // Compiled fault schedule plus the runtime streams it draws from.
+    // Zero-intensity plans are empty and the streams stay untouched, so
+    // a fault-free replay is byte-identical to one built before this
+    // machinery existed.
+    plan: FaultPlan,
+    rng_faults: SimRng,
+    rng_retry: SimRng,
+    retry_policy: RetryPolicy,
+    // Attempts burned so far on the file's in-flight pre-download;
+    // reset on final success/failure. File-indexed like the arena.
+    retry_attempts: Vec<u32>,
     // The task arena: a preallocated struct-of-arrays replacing the old
     // `FxHashMap<u32, Pending>` and its per-task waiter Vecs. File-indexed
     // (catalog size): the in-flight pre-download's outcome plus the
@@ -496,7 +573,9 @@ impl<'a> XuanfengCloud<'a> {
         }
         let backend = CloudWeekBackend::new(&cfg, rngs);
         let horizon_secs = (odx_trace::WEEK + SimDuration::from_days(2)).as_secs_f64();
+        let plan = FaultPlan::compile(&cfg.faults, &mut rngs.stream("faults"));
         XuanfengCloud {
+            retry_policy: RetryPolicy::new(cfg.retry),
             cfg,
             catalog,
             population,
@@ -505,6 +584,10 @@ impl<'a> XuanfengCloud<'a> {
             pool,
             backend,
             rng_think: rngs.stream("cloud-think"),
+            plan,
+            rng_faults: rngs.stream("faults-runtime"),
+            rng_retry: rngs.stream("retry"),
+            retry_attempts: vec![0; catalog.len()],
             pending_outcome: vec![None; catalog.len()],
             waiter_head: vec![NO_WAITER; catalog.len()],
             waiter_tail: vec![NO_WAITER; catalog.len()],
@@ -654,6 +737,16 @@ impl<'a> XuanfengCloud<'a> {
         world.pool.rebind(registry);
         world.lifecycle = observers.trace.map(Lifecycle::new);
         let flight = world.lifecycle.as_ref().map(|lifecycle| lifecycle.flight.clone());
+        // Snapshot the compiled fault windows before the world moves into
+        // the simulation; they are scheduled up front after the arrival
+        // seq reservation, in domain-then-start order, so every window's
+        // `(time, seq)` is a pure function of the plan. An empty plan
+        // schedules nothing and leaves seq allocation untouched.
+        let fault_windows: Vec<FaultWindow> = FaultDomain::ALL
+            .iter()
+            .flat_map(|domain| world.plan.windows(*domain))
+            .copied()
+            .collect();
         if let Some(series) = &observers.series {
             register_cloud_series(series, registry);
         }
@@ -675,6 +768,12 @@ impl<'a> XuanfengCloud<'a> {
         // Arrivals keep seqs 0..N; follow-ups scheduled by handlers draw
         // from N up, exactly as if every arrival were scheduled up front.
         sim.reserve_seqs(workload.len() as u64);
+        for window in &fault_windows {
+            sim.schedule_at(
+                SimTime::from_millis(window.start_ms),
+                Ev::FaultWindow { kind: window.kind },
+            );
+        }
         let mut arrivals = ArrivalChunks { requests: workload.requests(), next: 0 };
         sim.run_streamed(&mut arrivals);
         let final_now_ms = sim.now().as_millis();
@@ -757,13 +856,66 @@ impl<'a> XuanfengCloud<'a> {
         SimDuration::from_secs_f64((mins * 60.0).min(6.0 * 3600.0))
     }
 
+    /// Dispatch a pre-download through the fault plan. The backend draw
+    /// happens first either way, so the cloud-source stream order is
+    /// identical with and without a plan; an active outage window then
+    /// overrides the outcome with a forced stagnation, and a brownout
+    /// window stretches a success by its severity.
+    fn predownload_with_faults(&mut self, file_idx: u32, now: SimTime) -> PredownloadOutcome {
+        let meta = *self.catalog.file(file_idx);
+        let prior = self.db.state(file_idx).failed_attempts;
+        let outcome = self.backend.predownload(&meta, prior);
+        if self.plan.is_empty() {
+            return outcome;
+        }
+        let Some(window) = self.plan.active(FaultDomain::Cloud, now.as_millis()) else {
+            return outcome;
+        };
+        match window.kind {
+            FaultKind::CloudOutage => {
+                self.counters.fault_forced_failures += 1;
+                self.hot.fault_predownload_forced += 1;
+                PredownloadOutcome::Failure {
+                    cause: FailureCause::SystemBug,
+                    duration: self.cfg.stagnation_timeout
+                        + SimDuration::from_secs_f64(u01(&mut self.rng_faults) * 3600.0),
+                    traffic_mb: meta.size_mb * u01(&mut self.rng_faults) * 0.15,
+                }
+            }
+            FaultKind::CloudBrownout => match outcome {
+                PredownloadOutcome::Success { rate_kbps, duration, traffic_mb } => {
+                    self.counters.fault_slowed_predownloads += 1;
+                    self.hot.fault_predownload_slowed += 1;
+                    PredownloadOutcome::Success {
+                        rate_kbps: rate_kbps * window.severity,
+                        duration: SimDuration::from_secs_f64(
+                            duration.as_secs_f64() / window.severity,
+                        ),
+                        traffic_mb,
+                    }
+                }
+                failure => failure,
+            },
+            _ => outcome,
+        }
+    }
+
     fn begin_fetch(&mut self, ctx: &mut Ctx<Ev>, req: u32) {
         let request = &self.workload.requests()[req as usize];
         let user = self.population.user(request.user);
         let file = self.catalog.file(request.file);
-        let plan = self.backend.plan_fetch(user);
+        let mut plan = self.backend.plan_fetch(user);
 
         let now = ctx.now();
+        if plan.rate_kbps > 0.0 {
+            if let Some(window) = self.plan.active(FaultDomain::Net, now.as_millis()) {
+                // User-visible rate only: the ISP pool reservation keeps
+                // the admission grant, so release stays consistent.
+                plan.rate_kbps *= window.severity;
+                self.counters.fault_degraded_fetches += 1;
+                self.hot.fault_fetch_degraded += 1;
+            }
+        }
         if plan.rate_kbps <= 0.0 {
             // Rejected outright.
             self.counters.rejected_fetches += 1;
@@ -839,6 +991,8 @@ impl World for XuanfengCloud<'_> {
             Ev::PredlDone { .. } => "predl_done",
             Ev::FetchBegin { .. } => "fetch_begin",
             Ev::FetchEnd { .. } => "fetch_end",
+            Ev::FaultWindow { kind } => kind.label(),
+            Ev::RetryPredl { .. } => "retry_predl",
         }
     }
 
@@ -896,9 +1050,7 @@ impl World for XuanfengCloud<'_> {
                     self.hot.cache_miss += 1;
                     self.trace_instant(req, Stage::CacheLookup, now, Some("miss"));
                     self.trace_instant(req, Stage::DedupLookup, now, Some("initiated"));
-                    let file = self.catalog.file(file_idx);
-                    let prior = self.db.state(file_idx).failed_attempts;
-                    let outcome = self.backend.predownload(file, prior);
+                    let outcome = self.predownload_with_faults(file_idx, now);
                     self.db.state_mut(file_idx).in_flight = true;
                     ctx.schedule_in(outcome.duration(), Ev::PredlDone { file: file_idx });
                     self.pending_outcome[file_idx as usize] = Some(outcome);
@@ -914,6 +1066,7 @@ impl World for XuanfengCloud<'_> {
                 let now = ctx.now();
                 match outcome {
                     PredownloadOutcome::Success { rate_kbps, traffic_mb, .. } => {
+                        let attempts = std::mem::take(&mut self.retry_attempts[file as usize]);
                         self.hot.predownload_success += 1;
                         if self.cfg.cache_enabled {
                             self.db.state_mut(file).cached = true;
@@ -958,8 +1111,40 @@ impl World for XuanfengCloud<'_> {
                             cursor = self.next_waiter[req as usize];
                             i += 1;
                         }
+                        if attempts > 0 {
+                            // Every waiter on a retried file would have been
+                            // failed under `retry.policy=none`.
+                            self.counters.retry_rescued += i as u64;
+                            self.hot.retry_rescued += i as u64;
+                        }
                     }
                     PredownloadOutcome::Failure { cause, traffic_mb, .. } => {
+                        // A granted backoff re-dispatches the pre-download
+                        // instead of failing the waiters. The attempt still
+                        // burns a stagnation timeout, its wasted traffic,
+                        // and a content-DB failed attempt (so the shared
+                        // retry decay applies to the re-dispatch), but no
+                        // failure records are cut and the waiter list stays
+                        // parked on the file.
+                        let attempt = self.retry_attempts[file as usize];
+                        if let Some(delay) =
+                            self.retry_policy.backoff_delay(attempt, &mut self.rng_retry)
+                        {
+                            self.retry_attempts[file as usize] = attempt + 1;
+                            self.counters.retry_attempts += 1;
+                            self.hot.retry_attempt += 1;
+                            self.hot.predownload_stagnation += 1;
+                            self.db.state_mut(file).failed_attempts += 1;
+                            self.counters.predownload_traffic_mb += traffic_mb;
+                            self.db.state_mut(file).in_flight = true;
+                            ctx.schedule_in(delay, Ev::RetryPredl { file });
+                            return;
+                        }
+                        if self.retry_policy.is_active() && attempt > 0 {
+                            self.counters.retry_exhausted += 1;
+                            self.hot.retry_exhausted += 1;
+                            self.retry_attempts[file as usize] = 0;
+                        }
                         // Failed attempts are abandoned by the stagnation
                         // timeout rule, one firing per attempt.
                         self.hot.predownload_stagnation += 1;
@@ -1049,6 +1234,19 @@ impl World for XuanfengCloud<'_> {
                     );
                 }
             }
+            Ev::FaultWindow { .. } => {
+                // Observational only: active-window queries go through the
+                // plan, so the handler just counts and the event's label
+                // stamps the opening into the flight-recorder ring.
+                self.counters.fault_windows += 1;
+                self.hot.fault_window += 1;
+            }
+            Ev::RetryPredl { file } => {
+                let now = ctx.now();
+                let outcome = self.predownload_with_faults(file, now);
+                ctx.schedule_in(outcome.duration(), Ev::PredlDone { file });
+                self.pending_outcome[file as usize] = Some(outcome);
+            }
         }
     }
 }
@@ -1091,6 +1289,69 @@ mod tests {
         let report = replay_at(0.005, 112);
         let failure = report.failure_ratio();
         assert!((failure - 0.087).abs() < 0.04, "failure ratio {failure}");
+    }
+
+    fn replay_with(scale: f64, seed: u64, cfg: CloudConfig) -> WeekReport {
+        let rngs = RngFactory::new(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let catalog = Catalog::generate(&CatalogConfig::scaled(scale), &mut rng);
+        let population = Population::generate(&PopulationConfig::scaled(scale), &mut rng);
+        let workload =
+            Workload::generate(&catalog, &population, &WorkloadConfig::default(), &mut rng);
+        XuanfengCloud::replay(&catalog, &population, &workload, cfg, &rngs)
+    }
+
+    #[test]
+    fn fault_injection_raises_failures_and_degrades_fetches() {
+        let baseline = replay_with(0.005, 2015, CloudConfig::at_scale(0.005));
+        let mut cfg = CloudConfig::at_scale(0.005);
+        cfg.faults.intensity = 0.15;
+        let faulted = replay_with(0.005, 2015, cfg);
+        assert!(faulted.counters.fault_windows > 0, "windows should open");
+        assert!(faulted.counters.fault_degraded_fetches > 0, "net windows should bite");
+        assert!(
+            faulted.counters.fault_forced_failures > 0
+                || faulted.counters.fault_slowed_predownloads > 0,
+            "cloud windows should bite"
+        );
+        assert!(
+            faulted.failure_ratio() > baseline.failure_ratio(),
+            "injection should raise failures: {} vs {}",
+            faulted.failure_ratio(),
+            baseline.failure_ratio()
+        );
+    }
+
+    #[test]
+    fn expo_backoff_rescues_tasks_under_the_same_fault_plan() {
+        let mut cfg = CloudConfig::at_scale(0.005);
+        cfg.faults.intensity = 0.15;
+        let no_retry = replay_with(0.005, 2015, cfg);
+        cfg.retry.kind = odx_faults::RetryKind::Expo;
+        let expo = replay_with(0.005, 2015, cfg);
+        assert!(expo.counters.retry_attempts > 0, "retries should fire");
+        assert!(expo.counters.retry_rescued > 0, "some retries should succeed");
+        assert!(
+            expo.failure_ratio() < no_retry.failure_ratio(),
+            "backoff should rescue tasks: {} vs {}",
+            expo.failure_ratio(),
+            no_retry.failure_ratio()
+        );
+        // The fault plan itself is retry-independent: same windows opened.
+        assert_eq!(expo.counters.fault_windows, no_retry.counters.fault_windows);
+    }
+
+    #[test]
+    fn zero_intensity_plan_is_byte_identical_to_the_default_replay() {
+        let baseline = replay_with(0.005, 2015, CloudConfig::at_scale(0.005));
+        // Any zero-intensity config — whatever the other knobs say — must
+        // compile to an empty plan, consume no draws, schedule no events.
+        let mut cfg = CloudConfig::at_scale(0.005);
+        cfg.faults.window_s = 60.0;
+        cfg.faults.net_slowdown = 0.9;
+        cfg.retry.base_delay_s = 5.0;
+        let quiet = replay_with(0.005, 2015, cfg);
+        assert_eq!(format!("{baseline:?}"), format!("{quiet:?}"));
     }
 
     #[test]

@@ -69,6 +69,38 @@ pub struct TelemetrySpec {
     pub series_interval_s: f64,
 }
 
+/// Fault-injection knobs (mirrors `odx_faults::FaultsConfig`; the
+/// baseline injects nothing, keeping default replays byte-identical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultsSpec {
+    /// Fraction of the week each fault domain spends under an active
+    /// window, in `[0, 1]`; `0` disables injection entirely.
+    pub intensity: f64,
+    /// Mean fault-window length in seconds, `> 0`.
+    pub window_s: f64,
+    /// Fetch-rate multiplier during net degradation windows, in `(0, 1]`.
+    pub net_slowdown: f64,
+    /// Pre-download rate multiplier during cloud brownouts, in `(0, 1]`.
+    pub cloud_slowdown: f64,
+    /// Smart-AP rate multiplier during disk-stall windows, in `(0, 1]`.
+    pub ap_slowdown: f64,
+}
+
+/// Retry/backoff knobs (mirrors `odx_faults::RetryConfig`; the baseline
+/// policy `none` matches the paper's observed no-retry behaviour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrySpec {
+    /// Policy name (`none`, `fixed`, `expo` — validated by the resolver,
+    /// which owns the retry vocabulary).
+    pub policy: String,
+    /// Base re-dispatch delay in seconds, `> 0`.
+    pub base_delay_s: f64,
+    /// Per-task retry cap (retries after the first dispatch).
+    pub max_attempts: u32,
+    /// Jitter fraction applied to each delay, in `[0, 1]`.
+    pub jitter: f64,
+}
+
 /// One AP of the benchmark fleet, by hardware names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApSpec {
@@ -108,6 +140,10 @@ pub struct ScenarioSpec {
     /// Override for CERNET's user share, in `[0, 1)`; `None` keeps the
     /// default 2015 mix.
     pub cernet_share: Option<f64>,
+    /// Fault-injection knobs (zero intensity in the baseline).
+    pub faults: FaultsSpec,
+    /// Retry/backoff knobs (policy `none` in the baseline).
+    pub retry: RetrySpec,
     /// The three-AP benchmark fleet.
     pub ap_fleet: Vec<ApSpec>,
     /// Engine-layer knobs.
@@ -136,6 +172,15 @@ pub const KNOWN_PATHS: &[&str] = &[
     "privileged_paths",
     "demand_factor",
     "cernet_share",
+    "faults.intensity",
+    "faults.window_s",
+    "faults.net_slowdown",
+    "faults.cloud_slowdown",
+    "faults.ap_slowdown",
+    "retry.policy",
+    "retry.base_delay_s",
+    "retry.max_attempts",
+    "retry.jitter",
     "ap_fleet.0.model",
     "ap_fleet.0.device",
     "ap_fleet.0.fs",
@@ -176,6 +221,19 @@ impl ScenarioSpec {
             privileged_paths: true,
             demand_factor: 1.0,
             cernet_share: None,
+            faults: FaultsSpec {
+                intensity: 0.0,
+                window_s: 1800.0,
+                net_slowdown: 0.35,
+                cloud_slowdown: 0.4,
+                ap_slowdown: 0.3,
+            },
+            retry: RetrySpec {
+                policy: "none".into(),
+                base_delay_s: 300.0,
+                max_attempts: 3,
+                jitter: 0.5,
+            },
             ap_fleet: vec![
                 ApSpec::new("hiwifi", "sd-card", "fat"),
                 ApSpec::new("miwifi", "sata-hdd", "ext4"),
@@ -214,6 +272,15 @@ impl ScenarioSpec {
                     other => Some(num_at(path, other)?),
                 }
             }
+            "faults.intensity" => self.faults.intensity = num_at(path, value)?,
+            "faults.window_s" => self.faults.window_s = num_at(path, value)?,
+            "faults.net_slowdown" => self.faults.net_slowdown = num_at(path, value)?,
+            "faults.cloud_slowdown" => self.faults.cloud_slowdown = num_at(path, value)?,
+            "faults.ap_slowdown" => self.faults.ap_slowdown = num_at(path, value)?,
+            "retry.policy" => self.retry.policy = str_at(path, value)?,
+            "retry.base_delay_s" => self.retry.base_delay_s = num_at(path, value)?,
+            "retry.max_attempts" => self.retry.max_attempts = u32_at(path, value)?,
+            "retry.jitter" => self.retry.jitter = num_at(path, value)?,
             "sim.scheduler" => self.sim.scheduler = str_at(path, value)?,
             "telemetry.series_interval_s" => {
                 self.telemetry.series_interval_s = num_at(path, value)?
@@ -252,7 +319,8 @@ impl ScenarioSpec {
     }
 
     /// Apply a JSON object as a delta over this spec — layer 3 (scenario
-    /// files). Accepts nested objects for `backend` / `cache`, a complete
+    /// files). Accepts nested objects for `backend` / `cache` / `faults` /
+    /// `retry` (and `sim` / `telemetry`), a complete
     /// three-entry `ap_fleet` array (or partial per-entry objects), an
     /// `axes` object (which *replaces* any existing axes), and literal
     /// dotted keys (`"cache.policy": "gdsf"`). The reserved key `base` is
@@ -267,7 +335,7 @@ impl ScenarioSpec {
                 "base" => {
                     str_at("base", value)?;
                 }
-                "backend" | "cache" | "sim" | "telemetry" => {
+                "backend" | "cache" | "sim" | "telemetry" | "faults" | "retry" => {
                     let Json::Obj(nested) = value else {
                         return Err(ConfigError::at(key, "expected a JSON object"));
                     };
@@ -323,6 +391,13 @@ impl ScenarioSpec {
         check_positive("cache_capacity_factor", self.cache_capacity_factor)?;
         check_positive("demand_factor", self.demand_factor)?;
         check_positive("telemetry.series_interval_s", self.telemetry.series_interval_s)?;
+        check_range("faults.intensity", self.faults.intensity, 0.0..=1.0)?;
+        check_positive("faults.window_s", self.faults.window_s)?;
+        check_unit_interval_open_low("faults.net_slowdown", self.faults.net_slowdown)?;
+        check_unit_interval_open_low("faults.cloud_slowdown", self.faults.cloud_slowdown)?;
+        check_unit_interval_open_low("faults.ap_slowdown", self.faults.ap_slowdown)?;
+        check_positive("retry.base_delay_s", self.retry.base_delay_s)?;
+        check_range("retry.jitter", self.retry.jitter, 0.0..=1.0)?;
         if self.cache.shards == 0 {
             return Err(ConfigError::at("cache.shards", "must be >= 1 (got 0)"));
         }
@@ -443,6 +518,25 @@ impl ScenarioSpec {
             ("privileged_paths", Json::Bool(self.privileged_paths)),
             ("demand_factor", Json::Num(self.demand_factor)),
             ("cernet_share", self.cernet_share.map(Json::Num).unwrap_or(Json::Null)),
+            (
+                "faults",
+                Json::obj([
+                    ("intensity", Json::Num(self.faults.intensity)),
+                    ("window_s", Json::Num(self.faults.window_s)),
+                    ("net_slowdown", Json::Num(self.faults.net_slowdown)),
+                    ("cloud_slowdown", Json::Num(self.faults.cloud_slowdown)),
+                    ("ap_slowdown", Json::Num(self.faults.ap_slowdown)),
+                ]),
+            ),
+            (
+                "retry",
+                Json::obj([
+                    ("policy", Json::Str(self.retry.policy.clone())),
+                    ("base_delay_s", Json::Num(self.retry.base_delay_s)),
+                    ("max_attempts", Json::Num(f64::from(self.retry.max_attempts))),
+                    ("jitter", Json::Num(self.retry.jitter)),
+                ]),
+            ),
             ("ap_fleet", Json::Arr(fleet)),
             ("sim", Json::obj([("scheduler", Json::Str(self.sim.scheduler.clone()))])),
             (
@@ -571,6 +665,8 @@ mod tests {
                 "cache.shards" => Json::Num(4.0),
                 "sim.scheduler" => Json::Str("wheel".into()),
                 "cernet_share" => Json::Num(0.25),
+                "retry.policy" => Json::Str("expo".into()),
+                "retry.max_attempts" => Json::Num(2.0),
                 p if p.starts_with("ap_fleet.") => Json::Str("newifi".into()),
                 _ => Json::Num(0.5),
             };
@@ -616,6 +712,14 @@ mod tests {
             ("backend.dynamics_probability", 1.2),
             ("telemetry.series_interval_s", 0.0),
             ("telemetry.series_interval_s", -60.0),
+            ("faults.intensity", 1.5),
+            ("faults.intensity", -0.1),
+            ("faults.window_s", 0.0),
+            ("faults.net_slowdown", 0.0),
+            ("faults.cloud_slowdown", 1.5),
+            ("faults.ap_slowdown", -0.3),
+            ("retry.base_delay_s", 0.0),
+            ("retry.jitter", 1.5),
         ] {
             let mut spec = baseline();
             spec.set_path(path, &Json::Num(value)).unwrap();

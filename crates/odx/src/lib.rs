@@ -29,6 +29,7 @@ pub use odx_backend as backend;
 pub use odx_cache as cache;
 pub use odx_cloud as cloud;
 pub use odx_config as config;
+pub use odx_faults as faults;
 pub use odx_net as net;
 pub use odx_odr as odr;
 pub use odx_p2p as p2p;
@@ -234,12 +235,15 @@ impl Study {
         SmartApBenchmark::replay(&self.benchmark_sample(n), &self.rngs.child("smartap"))
     }
 
-    /// Run the §5.1 benchmark over a scenario's AP fleet (e.g. `usb3-aps`).
+    /// Run the §5.1 benchmark over a scenario's AP fleet (e.g. `usb3-aps`),
+    /// under the scenario's fault plan. Zero fault intensity — every
+    /// preset's default — replays byte-identically to the plain fleet.
     pub fn replay_smart_aps_scenario(&self, n: usize, scenario: &Scenario) -> ApBenchReport {
-        SmartApBenchmark::replay_fleet(
+        SmartApBenchmark::replay_fleet_faulted(
             &self.benchmark_sample(n),
             &scenario.ap_fleet,
             &self.rngs.child("smartap"),
+            &scenario.faults,
         )
     }
 

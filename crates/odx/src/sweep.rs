@@ -27,6 +27,7 @@ use std::time::Instant;
 use odx_backend::Scenario;
 use odx_cache::PolicyKind;
 use odx_cloud::{Observers, XuanfengCloud};
+use odx_faults::RetryKind;
 use odx_telemetry::{
     Attribution, Registry, SeriesRecorder, SeriesSet, SeriesSnapshot, TraceConfig,
 };
@@ -400,6 +401,34 @@ pub fn policy_variants(scenarios: &[Scenario], policies: &[PolicyKind]) -> Vec<S
     variants
 }
 
+/// Expand scenarios × fault intensities × retry policies into named sweep
+/// variants for `repro resilience`: each variant is the scenario with
+/// `faults.intensity` and `retry.policy` swapped and the name
+/// `"<scenario>/fault=<intensity>/retry=<policy>"`, so the `(scenario,
+/// seed)` merge key — and the deterministic exports — distinguish grid
+/// cells without any format change. The zero-intensity × `none` cell is
+/// the uninjected baseline the CLI diffs the rest of the grid against.
+pub fn resilience_variants(
+    scenarios: &[Scenario],
+    intensities: &[f64],
+    policies: &[RetryKind],
+) -> Vec<Scenario> {
+    let mut variants = Vec::with_capacity(scenarios.len() * intensities.len() * policies.len());
+    for scenario in scenarios {
+        for &intensity in intensities {
+            for &policy in policies {
+                let mut variant = scenario.clone();
+                variant.faults.intensity = intensity;
+                variant.retry.kind = policy;
+                variant.name =
+                    format!("{}/fault={intensity}/retry={}", scenario.name, policy.name());
+                variants.push(variant);
+            }
+        }
+    }
+    variants
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,5 +589,29 @@ mod policy_variant_tests {
             assert_eq!(variant.cache_capacity_factor, base[0].cache_capacity_factor);
             assert_eq!(variant.demand_factor, base[0].demand_factor);
         }
+    }
+
+    #[test]
+    fn resilience_variants_cross_intensities_with_policies() {
+        let registry = ScenarioRegistry::builtin();
+        let base = registry.resolve("paper-default").unwrap();
+        let variants = resilience_variants(&base, &[0.0, 0.1], &[RetryKind::None, RetryKind::Expo]);
+        assert_eq!(variants.len(), 4);
+        let names: Vec<_> = variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "paper-default/fault=0/retry=none",
+                "paper-default/fault=0/retry=expo",
+                "paper-default/fault=0.1/retry=none",
+                "paper-default/fault=0.1/retry=expo",
+            ]
+        );
+        assert_eq!(variants[0].faults.intensity, 0.0);
+        assert_eq!(variants[3].faults.intensity, 0.1);
+        assert_eq!(variants[3].retry.kind, RetryKind::Expo);
+        // Everything else is the base scenario.
+        assert_eq!(variants[3].cache.policy, base[0].cache.policy);
+        assert_eq!(variants[3].demand_factor, base[0].demand_factor);
     }
 }
